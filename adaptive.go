@@ -1,0 +1,122 @@
+package dynplan
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"dynplan/internal/adaptive"
+	"dynplan/internal/exec"
+	"dynplan/internal/physical"
+	"dynplan/internal/storage"
+)
+
+// errSkew rejects non-positive skew exponents.
+var errSkew = errors.New("dynplan: skew must be positive")
+
+func newDeterministicRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func powFloat(u, e float64) float64 { return math.Pow(u, e) }
+
+// AdaptiveResult is the outcome of an adaptive execution: the query
+// result plus what the run-time decision procedures learned and decided.
+type AdaptiveResult struct {
+	// Rows and Columns are the query result.
+	Rows    [][]int64
+	Columns []string
+	// Chosen is the final plan (its scan inputs are Temp-Scans over the
+	// materialized subplans).
+	Chosen *physical.Node
+	// Materialized counts the subplans evaluated into temporaries.
+	Materialized int
+	// ObservedSelectivities maps each host variable to the selectivity
+	// actually observed in the data, which may differ from the bound
+	// (claimed) selectivity when statistics or application estimates are
+	// stale.
+	ObservedSelectivities map[string]float64
+	// PredictedCost is the corrected prediction for the final plan.
+	PredictedCost float64
+	// I/O accounting, including the materializations.
+	SeqPageReads, RandPageReads, PageWrites, TupleOps int64
+}
+
+// SimulatedSeconds converts the account to simulated execution time.
+func (r *AdaptiveResult) SimulatedSeconds(p Params) float64 {
+	return float64(r.SeqPageReads)*p.SeqPageTime +
+		float64(r.RandPageReads)*p.RandIOTime +
+		float64(r.PageWrites)*p.SeqPageTime +
+		float64(r.TupleOps)*p.TupleCPUTime
+}
+
+// ExecuteAdaptive runs a dynamic plan with run-time choose-plan decisions
+// — the §7 extension of the paper. Instead of trusting the bound
+// selectivities, decision procedures *evaluate subplans*: each base
+// relation's access path is materialized into a temporary, its observed
+// cardinality corrects the estimates, and only then are the remaining
+// choose-plan operators (join orders, algorithms, build sides) decided.
+// This makes the execution robust to selectivity estimation error at the
+// price of materialization I/O, which is charged to the result's
+// account.
+//
+// The plan must be dynamic (contain choose-plan operators) or at least a
+// valid plan DAG; bindings must cover every host variable.
+func (db *Database) ExecuteAdaptive(p *Plan, b Bindings) (*AdaptiveResult, error) {
+	acc := &storage.Accountant{}
+	e := &exec.DB{
+		Catalog: db.sys.cat,
+		Store:   db.store,
+		Indexes: db.indexes,
+		Acc:     acc,
+	}
+	res, err := adaptive.Run(e, p.Root(), b.internal(), adaptive.Options{Params: db.sys.params})
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveResult{
+		Rows:                  res.Rows,
+		Columns:               res.Schema,
+		Chosen:                res.Chosen,
+		Materialized:          res.Materialized,
+		ObservedSelectivities: res.Observed,
+		PredictedCost:         res.PredictedCost,
+		SeqPageReads:          acc.SeqPageReads(),
+		RandPageReads:         acc.RandPageReads(),
+		PageWrites:            acc.PageWrites(),
+		TupleOps:              acc.TupleOps(),
+	}, nil
+}
+
+// GenerateSkewedData fills the catalog relations like GenerateData but
+// draws every attribute named "a" (the convention of the experiment
+// schema) from a skewed distribution: values ⌊domain · u^skew⌋, so a
+// predicate claiming selectivity ŝ actually qualifies ŝ^(1/skew) of the
+// records. Use it to reproduce selectivity-estimation-error scenarios.
+func (db *Database) GenerateSkewedData(seed int64, skew float64, skewedAttr string) error {
+	if skew <= 0 {
+		return errSkew
+	}
+	rng := newDeterministicRand(seed)
+	for _, rel := range db.sys.cat.Relations() {
+		t := storage.NewTable(rel.Name, rel.RecordBytes)
+		for i := 0; i < rel.Cardinality; i++ {
+			row := make(storage.Row, len(rel.Attrs))
+			for j, a := range rel.Attrs {
+				u := rng.Float64()
+				if a.Name == skewedAttr && skew != 1 {
+					u = powFloat(u, skew)
+				}
+				v := int64(u * float64(a.DomainSize))
+				if v >= int64(a.DomainSize) {
+					v = int64(a.DomainSize) - 1
+				}
+				row[j] = v
+			}
+			t.Append(row)
+		}
+		db.store.AddTable(t)
+		db.loaded[rel.Name] = true
+	}
+	return nil
+}

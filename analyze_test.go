@@ -1,0 +1,119 @@
+package dynplan
+
+import (
+	"math"
+	"testing"
+)
+
+func analyzeSystem(t *testing.T) (*System, *Database) {
+	t.Helper()
+	sys := New()
+	sys.MustCreateRelation("skewed", 2000, 512,
+		Attr{Name: "a", DomainSize: 1000, BTree: true},
+	)
+	db := sys.OpenDatabase()
+	// Skew exponent 3: P(value < t) = (t/domain)^(1/3).
+	if err := db.GenerateSkewedData(9, 3, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, db
+}
+
+func TestEstimateSelectivityUniformFallback(t *testing.T) {
+	_, db := analyzeSystem(t)
+	// Before Analyze: the uniform assumption, badly wrong under skew.
+	got, err := db.EstimateSelectivity("skewed", "a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.1 {
+		t.Errorf("uniform estimate = %g, want 0.1", got)
+	}
+	if db.Analyzed("skewed") {
+		t.Error("Analyzed true before Analyze")
+	}
+}
+
+func TestAnalyzeCorrectsEstimates(t *testing.T) {
+	_, db := analyzeSystem(t)
+	if err := db.Analyze(64); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Analyzed("skewed") {
+		t.Error("Analyzed false after Analyze")
+	}
+	// Truth: (100/1000)^(1/3) ≈ 0.464.
+	got, err := db.EstimateSelectivity("skewed", "a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Cbrt(0.1)
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("histogram estimate = %g, want ≈%g", got, want)
+	}
+}
+
+func TestEstimateSelectivityErrors(t *testing.T) {
+	_, db := analyzeSystem(t)
+	if _, err := db.EstimateSelectivity("ghost", "a", 10); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if _, err := db.EstimateSelectivity("skewed", "ghost", 10); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	// Clamping of the uniform fallback.
+	if got, _ := db.EstimateSelectivity("skewed", "a", -5); got != 0 {
+		t.Errorf("negative limit estimate = %g", got)
+	}
+	if got, _ := db.EstimateSelectivity("skewed", "a", 5000); got != 1 {
+		t.Errorf("huge limit estimate = %g", got)
+	}
+}
+
+func TestBindValueUsesHistograms(t *testing.T) {
+	sys, db := analyzeSystem(t)
+	if err := db.Analyze(64); err != nil {
+		t.Fatal(err)
+	}
+	b := &Bindings{MemoryPages: 64}
+	if _, err := db.BindValue(b, "limit", "skewed", "a", 100); err != nil {
+		t.Fatal(err)
+	}
+	want := math.Cbrt(0.1)
+	if got := b.Selectivities["limit"]; math.Abs(got-want) > 0.05 {
+		t.Errorf("bound selectivity = %g, want ≈%g", got, want)
+	}
+
+	// The corrected binding now makes the start-up choice match reality:
+	// with the true selectivity near 0.46 the chosen plan is the file
+	// scan, not the index scan a 0.1 estimate might pick.
+	q, err := sys.BuildQuery(QuerySpec{
+		Relations: []RelSpec{{Name: "skewed", Pred: &Pred{Attr: "a", Variable: "limit"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := sys.OptimizeDynamic(q, Uncertainty{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := dyn.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, err := mod.Activate(*b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := sys.OptimizeAt(q, *b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := DefaultParams().ChooseOverhead*float64(dyn.ChoosePlanCount()) + 1e-9
+	if act.PredictedCost() > rt.Cost().Lo+eps {
+		t.Errorf("histogram-informed choice %g worse than optimal %g", act.PredictedCost(), rt.Cost().Lo)
+	}
+}

@@ -1,0 +1,96 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (§6) as text series.
+//
+// Usage:
+//
+//	figures [-exp all|table1|fig3|fig4|fig5|fig6|fig7|fig8|breakeven|effort]
+//	        [-n 100] [-seed 1994]
+//
+// Each experiment prints the series the corresponding figure plots; see
+// EXPERIMENTS.md for the paper-versus-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynplan/internal/harness"
+	"dynplan/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig3, fig4, fig5, fig6, fig7, fig8, breakeven, effort, adaptive, sweep")
+	n := flag.Int("n", 100, "binding sets per data point")
+	seed := flag.Int64("seed", 11, "workload seed")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.N = *n
+	cfg.Seed = *seed
+
+	if *exp == "table1" {
+		w := workload.New(cfg.Seed)
+		out, err := harness.Table1(w, cfg.Search)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	points, err := harness.Grid(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	harness.SortPoints(points)
+	params := cfg.Search.Params
+
+	show := func(name, out string) {
+		if *exp == "all" || *exp == name {
+			fmt.Println(out)
+		}
+	}
+	if *exp == "all" {
+		w := workload.New(cfg.Seed)
+		out, err := harness.Table1(w, cfg.Search)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	// Figure 3 uses the most complex query with both uncertainty sources.
+	for _, p := range points {
+		if p.Spec.Relations == 10 && p.MemUncertain {
+			show("fig3", harness.Figure3(p, params, 10))
+		}
+	}
+	show("fig4", harness.Figure4(points))
+	show("fig5", harness.Figure5(points))
+	show("fig6", harness.Figure6(points))
+	show("fig7", harness.Figure7(points))
+	show("fig8", harness.Figure8(points, params))
+	show("breakeven", harness.BreakEven(points))
+	show("effort", harness.SearchEffort(points))
+	if *exp == "all" || *exp == "sweep" {
+		for _, rels := range []int{1, 4} {
+			pts, err := harness.RunSweep(cfg, rels, 11)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(harness.SweepReport(rels, pts))
+		}
+	}
+	if *exp == "all" || *exp == "adaptive" {
+		apts, err := harness.RunAdaptive(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.AdaptiveReport(apts))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

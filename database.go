@@ -1,0 +1,201 @@
+package dynplan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynplan/internal/btree"
+	"dynplan/internal/exec"
+	"dynplan/internal/physical"
+	"dynplan/internal/stats"
+	"dynplan/internal/storage"
+)
+
+// Database is a populated instance of the system's catalog: tables,
+// indexes, and the simulated-I/O accounting needed to actually run plans.
+type Database struct {
+	sys        *System
+	store      *storage.Store
+	indexes    map[string]map[string]*btree.Tree
+	loaded     map[string]bool
+	histograms map[string]map[string]*stats.Histogram
+}
+
+// OpenDatabase creates an empty database for the system's catalog. Load
+// rows with Insert (or GenerateData) and call BuildIndexes before
+// executing plans that use B-trees.
+func (s *System) OpenDatabase() *Database {
+	return &Database{
+		sys:     s,
+		store:   storage.NewStore(),
+		indexes: make(map[string]map[string]*btree.Tree),
+		loaded:  make(map[string]bool),
+	}
+}
+
+// Insert appends rows to a relation; each row must list the attribute
+// values in schema order.
+func (db *Database) Insert(relName string, rows ...[]int64) error {
+	rel, err := db.sys.cat.Relation(relName)
+	if err != nil {
+		return err
+	}
+	t, err := db.store.Table(relName)
+	if err != nil {
+		t = storage.NewTable(relName, rel.RecordBytes)
+		db.store.AddTable(t)
+	}
+	for _, r := range rows {
+		if len(r) != len(rel.Attrs) {
+			return fmt.Errorf("dynplan: row width %d does not match relation %s (%d attributes)",
+				len(r), relName, len(rel.Attrs))
+		}
+		t.Append(storage.Row(r))
+	}
+	db.loaded[relName] = true
+	return nil
+}
+
+// GenerateData fills every catalog relation with its declared cardinality
+// of uniform rows (each attribute uniform over [0, DomainSize)), drawn
+// deterministically from the seed — the data distribution the cost model
+// assumes and the paper's experiments imply.
+func (db *Database) GenerateData(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for _, rel := range db.sys.cat.Relations() {
+		t := storage.NewTable(rel.Name, rel.RecordBytes)
+		for i := 0; i < rel.Cardinality; i++ {
+			row := make(storage.Row, len(rel.Attrs))
+			for j, a := range rel.Attrs {
+				row[j] = int64(rng.Intn(a.DomainSize))
+			}
+			t.Append(row)
+		}
+		db.store.AddTable(t)
+		db.loaded[rel.Name] = true
+	}
+	return nil
+}
+
+// BuildIndexes constructs every B-tree the catalog declares over the
+// loaded data. Call it after loading and before Execute.
+func (db *Database) BuildIndexes() error {
+	for _, rel := range db.sys.cat.Relations() {
+		if !db.loaded[rel.Name] {
+			continue
+		}
+		t, err := db.store.Table(rel.Name)
+		if err != nil {
+			return err
+		}
+		for j, a := range rel.Attrs {
+			if !a.BTree {
+				continue
+			}
+			if db.indexes[rel.Name] == nil {
+				db.indexes[rel.Name] = make(map[string]*btree.Tree)
+			}
+			db.indexes[rel.Name][a.Name] = btree.Build(t, j, btree.DefaultOrder)
+		}
+	}
+	return nil
+}
+
+// ExecResult carries an execution's output and its simulated-I/O account.
+type ExecResult struct {
+	// Rows are the result records; Columns names them ("R1.a", …).
+	Rows    [][]int64
+	Columns []string
+	// SeqPageReads, RandPageReads, PageWrites and TupleOps are the
+	// accounted work of the execution.
+	SeqPageReads, RandPageReads, PageWrites, TupleOps int64
+}
+
+// SimulatedSeconds converts the account to simulated execution time under
+// the system's cost-model constants.
+func (r *ExecResult) SimulatedSeconds(p Params) float64 {
+	return float64(r.SeqPageReads)*p.SeqPageTime +
+		float64(r.RandPageReads)*p.RandIOTime +
+		float64(r.PageWrites)*p.SeqPageTime +
+		float64(r.TupleOps)*p.TupleCPUTime
+}
+
+// Execute runs a resolved plan (a static plan, or the Chosen plan of an
+// Activation) under the bindings.
+func (db *Database) Execute(root *physical.Node, b Bindings) (*ExecResult, error) {
+	acc := &storage.Accountant{}
+	e := &exec.DB{
+		Catalog: db.sys.cat,
+		Store:   db.store,
+		Indexes: db.indexes,
+		Acc:     acc,
+	}
+	rows, schema, err := e.Run(root, b.internal())
+	if err != nil {
+		return nil, err
+	}
+	out := &ExecResult{
+		Columns:       schema,
+		SeqPageReads:  acc.SeqPageReads(),
+		RandPageReads: acc.RandPageReads(),
+		PageWrites:    acc.PageWrites(),
+		TupleOps:      acc.TupleOps(),
+	}
+	out.Rows = make([][]int64, len(rows))
+	for i, r := range rows {
+		out.Rows[i] = r
+	}
+	return out, nil
+}
+
+// Project returns a copy of the result restricted (and reordered) to the
+// given qualified columns, implementing the logical Project operator of
+// the paper's algebra at the result boundary.
+func (r *ExecResult) Project(cols []string) (*ExecResult, error) {
+	if len(cols) == 0 {
+		return r, nil
+	}
+	perm := make([]int, len(cols))
+	for i, c := range cols {
+		found := -1
+		for j, name := range r.Columns {
+			if name == c {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("dynplan: projected column %q not in result schema %v", c, r.Columns)
+		}
+		perm[i] = found
+	}
+	out := &ExecResult{
+		Columns:       append([]string(nil), cols...),
+		SeqPageReads:  r.SeqPageReads,
+		RandPageReads: r.RandPageReads,
+		PageWrites:    r.PageWrites,
+		TupleOps:      r.TupleOps,
+	}
+	out.Rows = make([][]int64, len(r.Rows))
+	for i, row := range r.Rows {
+		projected := make([]int64, len(perm))
+		for k, j := range perm {
+			projected[k] = row[j]
+		}
+		out.Rows[i] = projected
+	}
+	return out, nil
+}
+
+// ExecutePlan runs a static Plan directly.
+func (db *Database) ExecutePlan(p *Plan, b Bindings) (*ExecResult, error) {
+	if p.IsDynamic() {
+		return nil, fmt.Errorf("dynplan: cannot execute a dynamic plan directly; build its Module and Activate it first")
+	}
+	return db.Execute(p.Root(), b)
+}
+
+// ExecuteActivation runs the plan an activation chose.
+func (db *Database) ExecuteActivation(a *Activation, b Bindings) (*ExecResult, error) {
+	return db.Execute(a.Chosen(), b)
+}

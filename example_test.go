@@ -1,0 +1,100 @@
+package dynplan_test
+
+import (
+	"fmt"
+
+	"dynplan"
+)
+
+// Example reproduces the paper's Figure 1: a single-relation query with
+// an unbound selection predicate keeps both the file scan and the index
+// scan under a choose-plan operator, and the binding decides at
+// start-up-time.
+func Example() {
+	sys := dynplan.New()
+	sys.MustCreateRelation("emp", 1000, 512,
+		dynplan.Attr{Name: "salary", DomainSize: 1000, BTree: true},
+	)
+	q, err := sys.BuildQuery(dynplan.QuerySpec{
+		Relations: []dynplan.RelSpec{
+			{Name: "emp", Pred: &dynplan.Pred{Attr: "salary", Variable: "limit"}},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	dp, err := sys.OptimizeDynamic(q, dynplan.Uncertainty{})
+	if err != nil {
+		panic(err)
+	}
+	mod, err := dp.Module()
+	if err != nil {
+		panic(err)
+	}
+	for _, sel := range []float64{0.005, 0.8} {
+		act, err := mod.Activate(dynplan.Bindings{
+			Selectivities: map[string]float64{"limit": sel},
+			MemoryPages:   64,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("selectivity %.3f:\n%s", sel, act.Explain())
+	}
+	// Output:
+	// selectivity 0.005:
+	// @1 Filter-B-tree-Scan emp.salary <= ?limit
+	// selectivity 0.800:
+	// @1 Filter emp.salary <= ?limit
+	//   @2 File-Scan emp
+}
+
+// ExampleSystem_Parse compiles a SQL-ish statement with a host variable,
+// a join, and an ORDER BY.
+func ExampleSystem_Parse() {
+	sys := dynplan.New()
+	sys.MustCreateRelation("emp", 500, 512,
+		dynplan.Attr{Name: "salary", DomainSize: 500, BTree: true},
+		dynplan.Attr{Name: "dept", DomainSize: 40, BTree: true},
+	)
+	sys.MustCreateRelation("dept", 40, 512,
+		dynplan.Attr{Name: "id", DomainSize: 40, BTree: true},
+	)
+	q, err := sys.Parse(`SELECT dept.id FROM emp, dept
+		WHERE emp.salary <= ?limit AND emp.dept = dept.id
+		ORDER BY dept.id`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+	fmt.Println("order by:", q.OrderBy())
+	fmt.Println("projection:", q.Projection())
+	// Output:
+	// σ[emp.salary <= ?limit](emp) ⋈ dept
+	// order by: dept.id
+	// projection: [dept.id]
+}
+
+// ExampleSystem_OptimizeStatic shows a traditional static plan and its
+// fully determined (point) cost.
+func ExampleSystem_OptimizeStatic() {
+	sys := dynplan.New()
+	sys.MustCreateRelation("t", 100, 512,
+		dynplan.Attr{Name: "x", DomainSize: 100, BTree: false},
+	)
+	q, err := sys.BuildQuery(dynplan.QuerySpec{
+		Relations: []dynplan.RelSpec{{Name: "t"}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	p, err := sys.OptimizeStatic(q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dynamic:", p.IsDynamic())
+	fmt.Print(p.Explain())
+	// Output:
+	// dynamic: false
+	// @1 File-Scan t
+}

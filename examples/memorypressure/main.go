@@ -1,0 +1,97 @@
+// Memorypressure demonstrates the paper's second source of run-time
+// uncertainty: memory availability unpredictable at compile-time (§1, §6).
+//
+// A three-way join is optimized with memory modeled as the interval
+// [16, 112] pages. Hash joins are cheap when the build input fits in
+// memory but pay Grace-partitioning I/O when it does not, so plans that
+// are best at 112 pages can lose at 16. The dynamic plan adapts at
+// start-up to however much memory the system actually has.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynplan"
+)
+
+func main() {
+	sys := dynplan.New()
+	sys.MustCreateRelation("orders", 900, 512,
+		dynplan.Attr{Name: "total", DomainSize: 900, BTree: true},
+		dynplan.Attr{Name: "cust", DomainSize: 300, BTree: true},
+	)
+	sys.MustCreateRelation("customer", 300, 512,
+		dynplan.Attr{Name: "id", DomainSize: 300, BTree: true},
+		dynplan.Attr{Name: "nation", DomainSize: 25, BTree: true},
+	)
+	sys.MustCreateRelation("nation", 25, 512,
+		dynplan.Attr{Name: "id", DomainSize: 25, BTree: true},
+	)
+
+	q, err := sys.BuildQuery(dynplan.QuerySpec{
+		Relations: []dynplan.RelSpec{
+			{Name: "orders", Pred: &dynplan.Pred{Attr: "total", Variable: "minTotal"}},
+			{Name: "customer"},
+			{Name: "nation"},
+		},
+		Joins: []dynplan.JoinSpec{
+			{LeftRel: "orders", LeftAttr: "cust", RightRel: "customer", RightAttr: "id"},
+			{LeftRel: "customer", LeftAttr: "nation", RightRel: "nation", RightAttr: "id"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:", q)
+
+	dyn, err := sys.OptimizeDynamic(q, dynplan.Uncertainty{Memory: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndynamic plan: cost %v, %d nodes, %d choose-plans\n",
+		dyn.Cost(), dyn.NodeCount(), dyn.ChoosePlanCount())
+
+	mod, err := dyn.Module()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same bound selectivity, under starved and generous memory.
+	for _, mem := range []float64{16, 112} {
+		b := dynplan.Bindings{
+			Selectivities: map[string]float64{"minTotal": 0.9},
+			MemoryPages:   mem,
+		}
+		act, err := mod.Activate(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- memory %3.0f pages: predicted %.4gs ---\n", mem, act.PredictedCost())
+		fmt.Print(act.Explain())
+	}
+
+	// A static plan optimized for the expected 64 pages, evaluated at the
+	// extremes, shows what memory misestimation costs.
+	static, err := sys.OptimizeStatic(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstatic plan (optimized for 64 pages):\n%s", static.Explain())
+	for _, mem := range []float64{16, 112} {
+		b := dynplan.Bindings{
+			Selectivities: map[string]float64{"minTotal": 0.9},
+			MemoryPages:   mem,
+		}
+		rt, err := sys.OptimizeAt(q, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		act, err := mod.Activate(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("memory %3.0f pages: dynamic chooses %.4gs, optimal is %.4gs\n",
+			mem, act.PredictedCost(), rt.Cost().Lo)
+	}
+}

@@ -1,0 +1,112 @@
+// Shrinking demonstrates the access-module self-replacement heuristic of
+// §4 of the paper: during each invocation the module records which
+// components of the dynamic plan were actually used; after a number of
+// invocations it replaces itself with a module containing only those
+// components, trading adaptability for smaller start-up I/O and CPU.
+//
+// Here an application always binds its host variables in a narrow range
+// (a common pattern for embedded queries), so most of the dynamic plan's
+// alternatives are never chosen and shrinking removes them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dynplan"
+)
+
+func main() {
+	sys := dynplan.New()
+	for i, card := range []int{800, 350, 620, 150} {
+		sys.MustCreateRelation(fmt.Sprintf("T%d", i+1), card, 512,
+			dynplan.Attr{Name: "a", DomainSize: card, BTree: true},
+			dynplan.Attr{Name: "jl", DomainSize: card / 2, BTree: true},
+			dynplan.Attr{Name: "jh", DomainSize: card / 2, BTree: true},
+		)
+	}
+	spec := dynplan.QuerySpec{}
+	for i := 1; i <= 4; i++ {
+		spec.Relations = append(spec.Relations, dynplan.RelSpec{
+			Name: fmt.Sprintf("T%d", i),
+			Pred: &dynplan.Pred{Attr: "a", Variable: fmt.Sprintf("v%d", i)},
+		})
+	}
+	for i := 1; i < 4; i++ {
+		spec.Joins = append(spec.Joins, dynplan.JoinSpec{
+			LeftRel: fmt.Sprintf("T%d", i), LeftAttr: "jh",
+			RightRel: fmt.Sprintf("T%d", i+1), RightAttr: "jl",
+		})
+	}
+	q, err := sys.BuildQuery(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dyn, err := sys.OptimizeDynamic(q, dynplan.Uncertainty{Memory: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod, err := dyn.Module()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dynamic plan: %d nodes, %d choose-plans, %.0f alternatives encoded\n",
+		mod.NodeCount(), dyn.ChoosePlanCount(), dyn.Alternatives())
+
+	// 100 invocations with selectivities the application actually uses:
+	// always small (0.001 – 0.05), memory comfortable.
+	rng := rand.New(rand.NewSource(99))
+	var lastCost float64
+	for i := 0; i < 100; i++ {
+		b := dynplan.Bindings{Selectivities: map[string]float64{}, MemoryPages: 64 + rng.Float64()*48}
+		for j := 1; j <= 4; j++ {
+			b.Selectivities[fmt.Sprintf("v%d", j)] = 0.001 + rng.Float64()*0.049
+		}
+		act, err := mod.Activate(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lastCost = act.PredictedCost()
+	}
+	fmt.Printf("after 100 invocations: %.1f%% of nodes ever used (last predicted cost %.4gs)\n",
+		100*mod.UsageFraction(), lastCost)
+
+	shrunk, err := mod.Shrink()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shrunk module: %d nodes (was %d), %d bytes (was %d)\n",
+		shrunk.NodeCount(), mod.NodeCount(), len(shrunk.Bytes()), len(mod.Bytes()))
+
+	// The shrunk module still adapts within the bindings it has seen...
+	b := dynplan.Bindings{
+		Selectivities: map[string]float64{"v1": 0.01, "v2": 0.02, "v3": 0.03, "v4": 0.04},
+		MemoryPages:   80,
+	}
+	actBig, _ := mod.Activate(b)
+	actSmall, err := shrunk.Activate(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("typical binding: full module evaluates %d nodes, shrunk module %d; same predicted cost: %v\n",
+		actBig.NodesEvaluated(), actSmall.NodesEvaluated(),
+		actBig.PredictedCost() == actSmall.PredictedCost())
+
+	// ...but it is a heuristic: for bindings outside the observed range
+	// the removed alternatives may have been better (the trade-off §4
+	// describes).
+	outlier := dynplan.Bindings{
+		Selectivities: map[string]float64{"v1": 0.95, "v2": 0.9, "v3": 0.85, "v4": 0.9},
+		MemoryPages:   20,
+	}
+	actFull, _ := mod.Activate(outlier)
+	actShrunk, err := shrunk.Activate(outlier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("outlier binding: full module predicts %.4gs, shrunk module %.4gs (%.1f%% worse)\n",
+		actFull.PredictedCost(), actShrunk.PredictedCost(),
+		100*(actShrunk.PredictedCost()-actFull.PredictedCost())/actFull.PredictedCost())
+}

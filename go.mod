@@ -1,0 +1,3 @@
+module dynplan
+
+go 1.24

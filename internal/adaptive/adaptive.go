@@ -1,0 +1,388 @@
+// Package adaptive implements the paper's §7 research direction: delaying
+// choose-plan decisions beyond start-up-time *into run-time* by letting
+// decision procedures evaluate subplans.
+//
+// Start-up-time decisions (internal/plan) assume the bound selectivities
+// are accurate. When they are not — stale statistics, skewed data under a
+// uniform estimation model, applications guessing their own parameters —
+// the chosen plan can be arbitrarily bad even though the dynamic plan
+// still *contains* the right plan. The paper's proposed remedy: "handle
+// inaccurate expected values by evaluating subplans as part of
+// choose-plan decision procedures. When a subplan has been evaluated into
+// a temporary result, its logical and physical properties (e.g., result
+// cardinality) are known and therefore may contribute to decisions with
+// increased confidence."
+//
+// Run does exactly that:
+//
+//  1. Every maximal base-relation subplan (the access-path alternatives
+//     of one relation, possibly under a choose-plan) is resolved with the
+//     supplied bindings and *executed into a temporary*; the temporary's
+//     observed cardinality replaces the estimate.
+//  2. Observed selectivities (observed cardinality ÷ base cardinality)
+//     replace the bound selectivities, so residual predicates of
+//     index-joins are corrected too.
+//  3. The remaining choose-plan operators — join order, join algorithms,
+//     build sides — are decided with the corrected, now-exact costs, and
+//     the final plan runs over the temporaries.
+//
+// The materialization I/O is charged honestly (temporary writes plus the
+// re-read by Temp-Scan operators), so the benefit reported by the
+// experiments is net of the overhead.
+package adaptive
+
+import (
+	"fmt"
+	"sort"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/cost"
+	"dynplan/internal/exec"
+	"dynplan/internal/physical"
+)
+
+// Options configures the adaptive executor.
+type Options struct {
+	// Params are the cost-model constants; zero value means defaults.
+	Params physical.Params
+}
+
+// Result is the outcome of an adaptive run.
+type Result struct {
+	// Rows and Schema are the query result.
+	Rows   [][]int64
+	Schema exec.Schema
+	// Chosen is the final plan over the temporaries.
+	Chosen *physical.Node
+	// Materialized counts the subplans evaluated into temporaries, and
+	// Observed maps each host variable to its observed selectivity.
+	Materialized int
+	Observed     map[string]float64
+	// PredictedCost is the corrected cost prediction of the chosen plan
+	// (excluding materialization, which has already happened).
+	PredictedCost float64
+}
+
+// Run executes a dynamic plan adaptively against db under the (possibly
+// inaccurate) bindings b. The plan may contain choose-plan operators; it
+// must not contain Temp-Scans.
+//
+// The loop alternates deciding and observing, so only work the evolving
+// plan would perform anyway is turned into a materialization:
+//
+//  1. Decide: resolve the choose-plan operators with the best current
+//     knowledge (claimed selectivities, corrected by every observation
+//     made so far, and observed cardinalities of temporaries).
+//  2. If the decided plan consumes a base-relation access path that has
+//     not been observed yet, evaluate that subplan (the cheapest variant
+//     for its relation under current knowledge) into a temporary,
+//     observe its cardinality, correct the relation's selectivity, and
+//     go back to 1 — a plan choice made before the observation may no
+//     longer be best.
+//  3. Otherwise every scan input of the decided plan is a temporary
+//     (index-join inners are probed, never materialized): execute it.
+func Run(db *exec.DB, root *physical.Node, b *bindings.Bindings, opt Options) (*Result, error) {
+	if opt.Params == (physical.Params{}) {
+		opt.Params = physical.DefaultParams()
+	}
+	model := physical.NewModel(opt.Params)
+	if err := missingBindings(root, b); err != nil {
+		return nil, err
+	}
+
+	// Group the access-path variants of each relation; the materialized
+	// variant per relation is the cheapest under current knowledge, and
+	// all variants of a materialized relation are replaced by its
+	// temporary (re-running a different access path cannot produce
+	// different rows, only a different order, which Sort enforcers above
+	// the temporary restore).
+	byRel := make(map[string][]*physical.Node)
+	for _, base := range baseSubplans(root) {
+		rel := baseRelation(base)
+		byRel[rel] = append(byRel[rel], base)
+	}
+
+	observedSel := make(map[string]float64)
+	replace := make(map[*physical.Node]*physical.Node)
+	materialized := 0
+
+	currentEnv := func() *bindings.Env {
+		env := bindings.NewEnv(cost.PointRange(b.Memory))
+		for v, s := range b.Sel {
+			env.Bind(v, cost.PointRange(s))
+		}
+		for v, s := range observedSel {
+			if s > 1 {
+				s = 1
+			}
+			env.Bind(v, cost.PointRange(s))
+		}
+		return env
+	}
+
+	for round := 0; ; round++ {
+		if round > len(byRel)+1 {
+			return nil, fmt.Errorf("adaptive: decision loop did not converge")
+		}
+		env := currentEnv()
+		sess := model.NewSession(env)
+		substituted := substitute(root, replace)
+		final := resolveChoose(substituted, sess)
+
+		// Relations whose access paths the decided plan still reads
+		// directly (not through a temporary).
+		pending := scanRelations(final)
+		if len(pending) == 0 {
+			predicted := model.Evaluate(final, env).Cost.Lo
+			rows, schema, err := db.Run(final, b)
+			if err != nil {
+				return nil, fmt.Errorf("adaptive: executing final plan: %w", err)
+			}
+			out := &Result{
+				Schema:        schema,
+				Chosen:        final,
+				Materialized:  materialized,
+				Observed:      observedSel,
+				PredictedCost: predicted,
+			}
+			out.Rows = make([][]int64, len(rows))
+			for i, r := range rows {
+				out.Rows[i] = r
+			}
+			return out, nil
+		}
+
+		// Materialize the pending relation with the cheapest access path
+		// under current knowledge.
+		sort.Strings(pending)
+		bestRel := ""
+		var bestBase *physical.Node
+		bestCost := 0.0
+		for _, rel := range pending {
+			for _, v := range byRel[rel] {
+				if c := sess.Evaluate(v).Cost.Lo; bestBase == nil || c < bestCost {
+					bestRel, bestBase, bestCost = rel, v, c
+				}
+			}
+		}
+		if bestBase == nil {
+			return nil, fmt.Errorf("adaptive: no access path found for relations %v", pending)
+		}
+		chosen := resolveChoose(bestBase, sess)
+		temp := "tmp_" + bestRel
+		_, observed, err := db.Materialize(temp, chosen, b)
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: materializing %s: %w", temp, err)
+		}
+		materialized++
+		scan := &physical.Node{
+			Op:       physical.TempScan,
+			Rel:      temp,
+			Attr:     qualifiedOrder(chosen),
+			BaseCard: observed,
+			RowBytes: bestBase.RowBytes,
+		}
+		for _, v := range byRel[bestRel] {
+			// An ordered access-path variant promises a sort order the
+			// temporary may not have; restore it with a Sort over the
+			// temporary so merge joins above stay correct.
+			if o := v.Ordering(); o != "" && o != scan.Attr {
+				replace[v] = &physical.Node{
+					Op:       physical.Sort,
+					Attr:     o,
+					RowBytes: v.RowBytes,
+					Children: []*physical.Node{scan},
+				}
+			} else {
+				replace[v] = scan
+			}
+		}
+		if v, baseCard := subplanVariable(bestBase); v != "" && baseCard > 0 {
+			observedSel[v] = float64(observed) / float64(baseCard)
+		}
+	}
+}
+
+// scanRelations returns the base relations the plan reads through scan
+// operators (Temp-Scans and index-join probes excluded), deduplicated.
+func scanRelations(n *physical.Node) []string {
+	rels := make(map[string]bool)
+	seen := make(map[*physical.Node]bool)
+	var walk func(m *physical.Node)
+	walk = func(m *physical.Node) {
+		if seen[m] {
+			return
+		}
+		seen[m] = true
+		if m.Op.IsScan() {
+			rels[m.Rel] = true
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	out := make([]string, 0, len(rels))
+	for r := range rels {
+		out = append(out, r)
+	}
+	return out
+}
+
+// baseSubplans returns the distinct maximal subplans whose subtrees touch
+// exactly one base relation through scans and filters (with choose-plans
+// among them). These are the units §7 materializes. Ordered sort
+// enforcers above them are not included (a Sort consumes the temporary).
+func baseSubplans(root *physical.Node) []*physical.Node {
+	var out []*physical.Node
+	seen := make(map[*physical.Node]bool)
+	var walk func(n *physical.Node)
+	walk = func(n *physical.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if isBaseSubplan(n) {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// isBaseSubplan reports whether n's subtree consists only of scans,
+// filters, and choose-plans over a single relation.
+func isBaseSubplan(n *physical.Node) bool {
+	rels := make(map[string]bool)
+	ok := collectBase(n, rels)
+	return ok && len(rels) == 1
+}
+
+func collectBase(n *physical.Node, rels map[string]bool) bool {
+	switch n.Op {
+	case physical.FileScan, physical.BtreeScan, physical.FilterBtreeScan:
+		rels[n.Rel] = true
+		return true
+	case physical.Filter, physical.ChoosePlan:
+		for _, c := range n.Children {
+			if !collectBase(c, rels) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// baseRelation returns the single relation a base subplan scans.
+func baseRelation(n *physical.Node) string {
+	if n.Op.IsScan() {
+		return n.Rel
+	}
+	for _, c := range n.Children {
+		if r := baseRelation(c); r != "" {
+			return r
+		}
+	}
+	return ""
+}
+
+// subplanVariable returns the host variable of the subplan's selection
+// predicate (if any) and the base relation's unfiltered cardinality.
+func subplanVariable(n *physical.Node) (string, int) {
+	variable := ""
+	baseCard := 0
+	seen := make(map[*physical.Node]bool)
+	var walk func(m *physical.Node)
+	walk = func(m *physical.Node) {
+		if seen[m] {
+			return
+		}
+		seen[m] = true
+		if m.Var != "" {
+			variable = m.Var
+		}
+		if m.Op.IsScan() {
+			baseCard = m.BaseCard
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return variable, baseCard
+}
+
+// qualifiedOrder returns the order a resolved subplan delivers.
+func qualifiedOrder(n *physical.Node) string { return n.Ordering() }
+
+// resolveChoose reduces every choose-plan under n to its cheapest
+// alternative under the session's environment.
+func resolveChoose(n *physical.Node, sess *physical.Session) *physical.Node {
+	if n.Op == physical.ChoosePlan {
+		best := n.Children[0]
+		bc := sess.Evaluate(best).Cost.Lo
+		for _, c := range n.Children[1:] {
+			if cc := sess.Evaluate(c).Cost.Lo; cc < bc {
+				best, bc = c, cc
+			}
+		}
+		return resolveChoose(best, sess)
+	}
+	children := make([]*physical.Node, len(n.Children))
+	changed := false
+	for i, c := range n.Children {
+		children[i] = resolveChoose(c, sess)
+		changed = changed || children[i] != c
+	}
+	if !changed {
+		return n
+	}
+	clone := *n
+	clone.Children = children
+	return &clone
+}
+
+// substitute rebuilds the DAG with the given node replacements.
+func substitute(n *physical.Node, replace map[*physical.Node]*physical.Node) *physical.Node {
+	memo := make(map[*physical.Node]*physical.Node)
+	var walk func(m *physical.Node) *physical.Node
+	walk = func(m *physical.Node) *physical.Node {
+		if r, ok := replace[m]; ok {
+			return r
+		}
+		if r, ok := memo[m]; ok {
+			return r
+		}
+		children := make([]*physical.Node, len(m.Children))
+		changed := false
+		for i, c := range m.Children {
+			children[i] = walk(c)
+			changed = changed || children[i] != c
+		}
+		r := m
+		if changed {
+			clone := *m
+			clone.Children = children
+			r = &clone
+		}
+		memo[m] = r
+		return r
+	}
+	return walk(n)
+}
+
+// missingBindings verifies every host variable is bound.
+func missingBindings(root *physical.Node, b *bindings.Bindings) error {
+	for _, v := range root.Variables() {
+		if _, ok := b.Sel[v]; !ok {
+			return fmt.Errorf("adaptive: host variable %q is unbound", v)
+		}
+	}
+	return nil
+}

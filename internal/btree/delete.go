@@ -1,0 +1,128 @@
+package btree
+
+import "dynplan/internal/storage"
+
+// Delete removes one entry matching (key, rid) and reports whether it was
+// found. Deletion uses lazy structural maintenance: entries are removed
+// from their leaf, and an underflowing leaf borrows from or merges with a
+// sibling only when it empties completely, keeping the chain and
+// separator invariants intact. (Classic B-trees rebalance eagerly at
+// half-occupancy; lazy deletion is what most production systems —
+// including the B-trees of the era the paper targets — actually ship,
+// because range scans tolerate thin leaves and inserts refill them.)
+func (t *Tree) Delete(key int64, rid storage.RID) bool {
+	if !t.deleteFrom(t.root, key, rid) {
+		return false
+	}
+	t.size--
+	t.deletions++
+	// Collapse a root that lost all but one child (or everything).
+	for {
+		n, ok := t.root.(*internal)
+		if !ok {
+			break
+		}
+		if len(n.children) == 0 {
+			t.root = &leaf{}
+			t.depth = 1
+			break
+		}
+		if len(n.children) > 1 {
+			break
+		}
+		t.root = n.children[0]
+		t.depth--
+	}
+	return true
+}
+
+// deleteFrom removes the entry from the subtree, returning whether it was
+// found. Empty leaves (and internal nodes that lose all children) are
+// unlinked on the way back up.
+func (t *Tree) deleteFrom(n node, key int64, rid storage.RID) bool {
+	switch v := n.(type) {
+	case *leaf:
+		for i := range v.keys {
+			if v.keys[i] == key && v.rids[i] == rid {
+				copy(v.keys[i:], v.keys[i+1:])
+				v.keys = v.keys[:len(v.keys)-1]
+				copy(v.rids[i:], v.rids[i+1:])
+				v.rids = v.rids[:len(v.rids)-1]
+				return true
+			}
+			if v.keys[i] > key {
+				break
+			}
+		}
+		return false
+	case *internal:
+		// Duplicates equal to a separator may live on either side; try
+		// every child whose range could contain the key.
+		for i := range v.children {
+			lo := int64(-1 << 63)
+			if i > 0 {
+				lo = v.keys[i-1]
+			}
+			hi := int64(1<<63 - 1)
+			if i < len(v.keys) {
+				hi = v.keys[i]
+			}
+			if key < lo || key > hi {
+				continue
+			}
+			if t.deleteFrom(v.children[i], key, rid) {
+				t.unlinkIfEmpty(v, i)
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// unlinkIfEmpty removes child i of n when it has become empty, repairing
+// the leaf chain.
+func (t *Tree) unlinkIfEmpty(n *internal, i int) {
+	switch c := n.children[i].(type) {
+	case *leaf:
+		if len(c.keys) > 0 {
+			return
+		}
+		// Repair the chain: the predecessor leaf must skip c.
+		if prev := t.leafBefore(c); prev != nil {
+			prev.next = c.next
+		}
+	case *internal:
+		if len(c.children) > 0 {
+			return
+		}
+	default:
+		return
+	}
+	// Remove the child and the separator next to it.
+	copy(n.children[i:], n.children[i+1:])
+	n.children = n.children[:len(n.children)-1]
+	if len(n.keys) > 0 {
+		k := i
+		if k >= len(n.keys) {
+			k = len(n.keys) - 1
+		}
+		copy(n.keys[k:], n.keys[k+1:])
+		n.keys = n.keys[:len(n.keys)-1]
+	}
+}
+
+// leafBefore returns the leaf whose next pointer is l, or nil if l is the
+// leftmost leaf. A linear chain walk suffices: deletion is not on the
+// simulated query path, so it is not I/O-accounted or latency-critical.
+func (t *Tree) leafBefore(l *leaf) *leaf {
+	cur := t.leftmost()
+	if cur == l {
+		return nil
+	}
+	for cur != nil && cur.next != l {
+		cur = cur.next
+	}
+	return cur
+}

@@ -1,0 +1,184 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynplan/internal/storage"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(int64(i), rid(i))
+	}
+	if !tr.Delete(50, rid(50)) {
+		t.Fatal("existing entry not deleted")
+	}
+	if tr.Len() != 99 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.Search(50); got != nil {
+		t.Errorf("deleted key still found: %v", got)
+	}
+	if tr.Delete(50, rid(50)) {
+		t.Error("double delete succeeded")
+	}
+	if tr.Delete(9999, rid(1)) {
+		t.Error("absent key deleted")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteSpecificDuplicate(t *testing.T) {
+	tr := New(4)
+	tr.Insert(7, rid(1))
+	tr.Insert(7, rid(2))
+	tr.Insert(7, rid(3))
+	if !tr.Delete(7, rid(2)) {
+		t.Fatal("duplicate entry not deleted")
+	}
+	got := tr.Search(7)
+	if len(got) != 2 || got[0] != rid(1) || got[1] != rid(3) {
+		t.Errorf("remaining duplicates = %v", got)
+	}
+	// Wrong rid must not match.
+	if tr.Delete(7, rid(99)) {
+		t.Error("delete with non-matching rid succeeded")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New(4)
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i%37), rid(i))
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Delete(int64(i%37), rid(i)) {
+			t.Fatalf("entry %d not deleted", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting everything", tr.Len())
+	}
+	count := 0
+	tr.Ascend(func(int64, storage.RID) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("%d entries still reachable", count)
+	}
+	// The tree remains usable.
+	tr.Insert(5, rid(1))
+	if got := tr.Search(5); len(got) != 1 {
+		t.Errorf("insert after delete-all: Search = %v", got)
+	}
+}
+
+// TestDeleteAgainstReference interleaves random inserts and deletes and
+// compares every range query with a slice-based reference.
+func TestDeleteAgainstReference(t *testing.T) {
+	type entry struct {
+		key int64
+		rid storage.RID
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		order := 3 + rng.Intn(12)
+		tr := New(order)
+		var ref []entry
+		for step := 0; step < 1200; step++ {
+			if len(ref) > 0 && rng.Intn(3) == 0 {
+				// Delete a random existing entry.
+				i := rng.Intn(len(ref))
+				e := ref[i]
+				if !tr.Delete(e.key, e.rid) {
+					t.Fatalf("trial %d step %d: failed to delete %v", trial, step, e)
+				}
+				ref = append(ref[:i], ref[i+1:]...)
+			} else {
+				k := int64(rng.Intn(80))
+				r := rid(step)
+				tr.Insert(k, r)
+				ref = append(ref, entry{k, r})
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("trial %d: Len %d, reference %d", trial, tr.Len(), len(ref))
+		}
+		// Compare a handful of range scans (RID multisets, order-free for
+		// duplicates since deletion can reorder within a key).
+		for q := 0; q < 10; q++ {
+			lo := int64(rng.Intn(90) - 5)
+			hi := lo + int64(rng.Intn(40))
+			want := make(map[storage.RID]bool)
+			for _, e := range ref {
+				if e.key >= lo && e.key <= hi {
+					want[e.rid] = true
+				}
+			}
+			got := make(map[storage.RID]bool)
+			prev := int64(-1 << 62)
+			tr.Range(lo, hi, func(k int64, r storage.RID) bool {
+				if k < prev {
+					t.Fatalf("trial %d: range output not sorted", trial)
+				}
+				prev = k
+				got[r] = true
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: Range(%d,%d) returned %d entries, want %d",
+					trial, lo, hi, len(got), len(want))
+			}
+			for r := range want {
+				if !got[r] {
+					t.Fatalf("trial %d: Range(%d,%d) missing rid %v", trial, lo, hi, r)
+				}
+			}
+		}
+	}
+}
+
+// TestDeleteInvariantsQuick: any interleaving leaves a structurally sound
+// tree (lazy-deletion invariants).
+func TestDeleteInvariantsQuick(t *testing.T) {
+	f := func(ops []int16, orderSeed uint8) bool {
+		order := 3 + int(orderSeed%12)
+		tr := New(order)
+		var live []struct {
+			k int64
+			r storage.RID
+		}
+		for i, op := range ops {
+			if op < 0 && len(live) > 0 {
+				j := int(uint16(op)) % len(live)
+				if !tr.Delete(live[j].k, live[j].r) {
+					return false
+				}
+				live = append(live[:j], live[j+1:]...)
+			} else {
+				k := int64(op % 50)
+				r := rid(i)
+				tr.Insert(k, r)
+				live = append(live, struct {
+					k int64
+					r storage.RID
+				}{k, r})
+			}
+		}
+		if tr.Len() != len(live) {
+			return false
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

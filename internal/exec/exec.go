@@ -1,0 +1,195 @@
+// Package exec is a Volcano-style iterator execution engine for the
+// physical plans the optimizer produces.
+//
+// The paper's prototype reported optimizer-predicted run-times (§6,
+// footnote 4); this engine goes further: resolved plans (static plans, or
+// dynamic plans after start-up activation) run against the simulated
+// storage layer, producing both actual result rows and accounted I/O. The
+// integration tests use it to verify the semantic heart of dynamic plans:
+// every alternative linked by a choose-plan operator computes the same
+// result.
+//
+// Each operator is an Iterator (Open / Next / Close), the execution
+// paradigm of the Volcano system the optimizer generator belongs to.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/btree"
+	"dynplan/internal/catalog"
+	"dynplan/internal/physical"
+	"dynplan/internal/storage"
+)
+
+// Schema is the ordered list of qualified column names ("R1.a") an
+// iterator produces.
+type Schema []string
+
+// Index returns the position of a qualified column, or an error.
+func (s Schema) Index(name string) (int, error) {
+	for i, c := range s {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("exec: column %q not in schema %v", name, []string(s))
+}
+
+// Iterator is the Volcano operator interface.
+type Iterator interface {
+	// Open prepares the iterator (building hash tables, sorting, …).
+	Open() error
+	// Next returns the next row, or ok=false at end of stream. The
+	// returned row may be reused by the iterator; consumers that keep
+	// rows must Clone them.
+	Next() (row storage.Row, ok bool, err error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// DB bundles everything an execution needs: catalog for domain lookups,
+// the simulated store, the B-tree indexes, an I/O accountant, and an
+// optional buffer pool for unclustered fetches.
+type DB struct {
+	Catalog *catalog.Catalog
+	Store   *storage.Store
+	Indexes map[string]map[string]*btree.Tree
+	Acc     *storage.Accountant
+	Pool    *storage.BufferPool
+	// Temps holds run-time materialized results, keyed by temporary name
+	// (see Temp and the adaptive executor).
+	Temps map[string]*Temp
+}
+
+// Run executes a resolved plan under the bindings and returns all result
+// rows and the output schema. The plan must not contain choose-plan
+// operators; activate the access module first.
+func (db *DB) Run(root *physical.Node, b *bindings.Bindings) ([]storage.Row, Schema, error) {
+	it, schema, err := db.Build(root, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := it.Open(); err != nil {
+		return nil, nil, err
+	}
+	defer it.Close()
+	var out []storage.Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row.Clone())
+	}
+	if err := it.Close(); err != nil {
+		return nil, nil, err
+	}
+	return out, schema, nil
+}
+
+// Build compiles a resolved physical plan into an iterator tree.
+func (db *DB) Build(n *physical.Node, b *bindings.Bindings) (Iterator, Schema, error) {
+	if db.Acc == nil {
+		db.Acc = &storage.Accountant{}
+	}
+	switch n.Op {
+	case physical.FileScan:
+		return db.buildFileScan(n)
+	case physical.BtreeScan:
+		return db.buildBtreeScan(n)
+	case physical.FilterBtreeScan:
+		return db.buildFilterBtreeScan(n, b)
+	case physical.Filter:
+		return db.buildFilter(n, b)
+	case physical.Sort:
+		return db.buildSort(n, b)
+	case physical.HashJoin:
+		return db.buildHashJoin(n, b)
+	case physical.MergeJoin:
+		return db.buildMergeJoin(n, b)
+	case physical.IndexJoin:
+		return db.buildIndexJoin(n, b)
+	case physical.TempScan:
+		return db.buildTempScan(n)
+	case physical.ChoosePlan:
+		return nil, nil, fmt.Errorf("exec: plan contains an unresolved Choose-Plan; activate the access module first")
+	default:
+		return nil, nil, fmt.Errorf("exec: unknown operator %v", n.Op)
+	}
+}
+
+// relSchema returns the qualified schema of a base relation.
+func (db *DB) relSchema(relName string) (Schema, *catalog.Relation, error) {
+	rel, err := db.Catalog.Relation(relName)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := make(Schema, len(rel.Attrs))
+	for i, a := range rel.Attrs {
+		s[i] = a.QualifiedName()
+	}
+	return s, rel, nil
+}
+
+// predicate resolves a selection predicate "SelAttr <= ?Var" (or a bound
+// predicate with FixedSel) against a schema: it returns the column index
+// and the exclusive upper literal derived from the bound selectivity
+// (literal = selectivity × domain size; attribute values are uniform over
+// [0, domain)).
+func (db *DB) predicate(selAttr, v string, fixedSel float64, schema Schema, b *bindings.Bindings) (col int, limit float64, err error) {
+	col, err = schema.Index(selAttr)
+	if err != nil {
+		return 0, 0, err
+	}
+	sel := fixedSel
+	if v != "" {
+		sel, err = b.Selectivity(v)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	relName, attrName, ok := strings.Cut(selAttr, ".")
+	if !ok {
+		return 0, 0, fmt.Errorf("exec: predicate attribute %q is not qualified", selAttr)
+	}
+	rel, err := db.Catalog.Relation(relName)
+	if err != nil {
+		return 0, 0, err
+	}
+	attr, err := rel.Attribute(attrName)
+	if err != nil {
+		return 0, 0, err
+	}
+	return col, sel * float64(attr.DomainSize), nil
+}
+
+// index looks up a B-tree.
+func (db *DB) index(rel, attr string) (*btree.Tree, error) {
+	m, ok := db.Indexes[rel]
+	if !ok {
+		return nil, fmt.Errorf("exec: no indexes for relation %q", rel)
+	}
+	t, ok := m[attr]
+	if !ok {
+		return nil, fmt.Errorf("exec: no B-tree on %s.%s", rel, attr)
+	}
+	return t, nil
+}
+
+// pagesOf returns the number of pages n rows of the given width occupy.
+func pagesOf(rowBytes int, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	perPage := catalog.PageBytes / rowBytes
+	if perPage < 1 {
+		perPage = 1
+	}
+	return float64((n + perPage - 1) / perPage)
+}

@@ -1,0 +1,488 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/physical"
+	"dynplan/internal/storage"
+)
+
+// buildHashJoin compiles Hash-Join: the left input is the build side (the
+// convention the optimizer's commutativity rule exploits to consider both
+// build orders), the right input probes.
+func (db *DB) buildHashJoin(n *physical.Node, b *bindings.Bindings) (Iterator, Schema, error) {
+	left, ls, err := db.Build(n.Children[0], b)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, rs, err := db.Build(n.Children[1], b)
+	if err != nil {
+		return nil, nil, err
+	}
+	lcol, err := ls.Index(n.LeftAttr)
+	if err != nil {
+		return nil, nil, err
+	}
+	rcol, err := rs.Index(n.RightAttr)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := append(append(Schema{}, ls...), rs...)
+	return &hashJoinIter{
+		db: db, build: left, probe: right,
+		buildCol: lcol, probeCol: rcol,
+		buildRowBytes: n.Children[0].RowBytes,
+		probeRowBytes: n.Children[1].RowBytes,
+		memPages:      b.Memory,
+	}, schema, nil
+}
+
+type hashJoinIter struct {
+	db       *DB
+	build    Iterator
+	probe    Iterator
+	buildCol int
+	probeCol int
+
+	buildRowBytes int
+	probeRowBytes int
+	memPages      float64
+
+	table    map[int64][]storage.Row
+	buildLen int
+	probeLen int
+	// matches buffers the build rows matching the current probe row.
+	matches  []storage.Row
+	matchPos int
+	cur      storage.Row
+	spilled  bool
+	opened   bool
+}
+
+func (it *hashJoinIter) Open() error {
+	if err := it.build.Open(); err != nil {
+		return err
+	}
+	it.table = make(map[int64][]storage.Row)
+	it.buildLen = 0
+	for {
+		row, ok, err := it.build.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := row[it.buildCol]
+		it.table[k] = append(it.table[k], row.Clone())
+		it.buildLen++
+		it.db.Acc.Tuples(1)
+	}
+	if err := it.build.Close(); err != nil {
+		return err
+	}
+	if err := it.probe.Open(); err != nil {
+		return err
+	}
+	it.opened = true
+	return nil
+}
+
+func (it *hashJoinIter) Next() (storage.Row, bool, error) {
+	if !it.opened {
+		return nil, false, fmt.Errorf("exec: Hash-Join next before open")
+	}
+	for {
+		if it.matchPos < len(it.matches) {
+			m := it.matches[it.matchPos]
+			it.matchPos++
+			it.db.Acc.Tuples(1)
+			return storage.Concat(m, it.cur), true, nil
+		}
+		row, ok, err := it.probe.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			it.chargeSpill()
+			return nil, false, nil
+		}
+		it.probeLen++
+		it.db.Acc.Tuples(1)
+		it.cur = row.Clone()
+		it.matches = it.table[row[it.probeCol]]
+		it.matchPos = 0
+	}
+}
+
+// chargeSpill accounts the Grace-partitioning I/O the cost model predicts
+// when the build input does not fit in the memory available at run-time:
+// both inputs are written to partition files and read back. The engine
+// joins in memory regardless (the host has RAM to spare); the accountant
+// records what a memory-constrained system would have done.
+func (it *hashJoinIter) chargeSpill() {
+	if it.spilled {
+		return
+	}
+	it.spilled = true
+	buildPages := pagesOf(it.buildRowBytes, it.buildLen)
+	if buildPages > it.memPages {
+		probePages := pagesOf(it.probeRowBytes, it.probeLen)
+		total := int64(buildPages + probePages)
+		it.db.Acc.Write(total)
+		it.db.Acc.ReadSeq(total)
+	}
+}
+
+func (it *hashJoinIter) Close() error {
+	it.table = nil
+	it.matches = nil
+	return it.probe.Close()
+}
+
+// buildMergeJoin compiles Merge-Join over two sorted inputs.
+func (db *DB) buildMergeJoin(n *physical.Node, b *bindings.Bindings) (Iterator, Schema, error) {
+	left, ls, err := db.Build(n.Children[0], b)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, rs, err := db.Build(n.Children[1], b)
+	if err != nil {
+		return nil, nil, err
+	}
+	lcol, err := ls.Index(n.LeftAttr)
+	if err != nil {
+		return nil, nil, err
+	}
+	rcol, err := rs.Index(n.RightAttr)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := append(append(Schema{}, ls...), rs...)
+	return &mergeJoinIter{
+		db: db, left: left, right: right, lcol: lcol, rcol: rcol,
+	}, schema, nil
+}
+
+// mergeJoinIter implements the standard sorted-merge equi-join with
+// duplicate handling: for each key present on both sides, the right
+// group is buffered and the cross product with the left group emitted.
+type mergeJoinIter struct {
+	db          *DB
+	left, right Iterator
+	lcol, rcol  int
+
+	lrow   storage.Row
+	lok    bool
+	rrow   storage.Row
+	rok    bool
+	lprev  int64
+	rprev  int64
+	lseen  bool
+	rseen  bool
+	group  []storage.Row // buffered right rows with the current key
+	gpos   int
+	curKey int64
+	opened bool
+}
+
+func (it *mergeJoinIter) Open() error {
+	if err := it.left.Open(); err != nil {
+		return err
+	}
+	if err := it.right.Open(); err != nil {
+		return err
+	}
+	if err := it.advanceLeft(); err != nil {
+		return err
+	}
+	if err := it.advanceRight(); err != nil {
+		return err
+	}
+	it.opened = true
+	return nil
+}
+
+func (it *mergeJoinIter) advanceLeft() error {
+	row, ok, err := it.left.Next()
+	if err != nil {
+		return err
+	}
+	if ok {
+		k := row[it.lcol]
+		if it.lseen && k < it.lprev {
+			return fmt.Errorf("exec: Merge-Join left input not sorted (%d after %d)", k, it.lprev)
+		}
+		it.lprev, it.lseen = k, true
+		it.lrow = row.Clone()
+		it.db.Acc.Tuples(1)
+	}
+	it.lok = ok
+	return nil
+}
+
+func (it *mergeJoinIter) advanceRight() error {
+	row, ok, err := it.right.Next()
+	if err != nil {
+		return err
+	}
+	if ok {
+		k := row[it.rcol]
+		if it.rseen && k < it.rprev {
+			return fmt.Errorf("exec: Merge-Join right input not sorted (%d after %d)", k, it.rprev)
+		}
+		it.rprev, it.rseen = k, true
+		it.rrow = row.Clone()
+		it.db.Acc.Tuples(1)
+	}
+	it.rok = ok
+	return nil
+}
+
+func (it *mergeJoinIter) Next() (storage.Row, bool, error) {
+	if !it.opened {
+		return nil, false, fmt.Errorf("exec: Merge-Join next before open")
+	}
+	for {
+		// Emit pending pairs of the current key group.
+		if it.gpos < len(it.group) {
+			out := storage.Concat(it.lrow, it.group[it.gpos])
+			it.gpos++
+			it.db.Acc.Tuples(1)
+			return out, true, nil
+		}
+		if len(it.group) > 0 {
+			// Finished pairing the current left row with the group; move
+			// to the next left row and re-pair if its key still matches.
+			if err := it.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			if it.lok && it.lrow[it.lcol] == it.curKey {
+				it.gpos = 0
+				continue
+			}
+			it.group = it.group[:0]
+		}
+		if !it.lok || !it.rok {
+			return nil, false, nil
+		}
+		lk, rk := it.lrow[it.lcol], it.rrow[it.rcol]
+		switch {
+		case lk < rk:
+			if err := it.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+		case lk > rk:
+			if err := it.advanceRight(); err != nil {
+				return nil, false, err
+			}
+		default:
+			// Buffer the right group for this key.
+			it.curKey = lk
+			it.group = it.group[:0]
+			for it.rok && it.rrow[it.rcol] == it.curKey {
+				it.group = append(it.group, it.rrow)
+				if err := it.advanceRight(); err != nil {
+					return nil, false, err
+				}
+			}
+			it.gpos = 0
+		}
+	}
+}
+
+func (it *mergeJoinIter) Close() error {
+	err1 := it.left.Close()
+	err2 := it.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// buildIndexJoin compiles Index-Join: for each outer row, probe the inner
+// relation's B-tree on the join attribute, fetch the matches, and apply
+// the inner relation's residual selection, if any.
+func (db *DB) buildIndexJoin(n *physical.Node, b *bindings.Bindings) (Iterator, Schema, error) {
+	outer, os, err := db.Build(n.Children[0], b)
+	if err != nil {
+		return nil, nil, err
+	}
+	innerSchema, _, err := db.relSchema(n.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := db.Store.Table(n.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := db.index(n.Rel, n.Attr)
+	if err != nil {
+		return nil, nil, err
+	}
+	ocol, err := os.Index(n.LeftAttr)
+	if err != nil {
+		return nil, nil, err
+	}
+	it := &indexJoinIter{
+		db: db, outer: outer, table: table, tree: tree, ocol: ocol, residCol: -1,
+	}
+	if n.SelAttr != "" {
+		col, limit, err := db.predicate(n.SelAttr, n.Var, n.FixedSel, innerSchema, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		it.residCol, it.residLimit = col, limit
+	}
+	schema := append(append(Schema{}, os...), innerSchema...)
+	return it, schema, nil
+}
+
+type indexJoinIter struct {
+	db    *DB
+	outer Iterator
+	table *storage.Table
+	tree  interface {
+		Search(key int64) []storage.RID
+	}
+	ocol       int
+	residCol   int
+	residLimit float64
+
+	cur    storage.Row
+	rids   []storage.RID
+	ridPos int
+	opened bool
+}
+
+func (it *indexJoinIter) Open() error {
+	if err := it.outer.Open(); err != nil {
+		return err
+	}
+	it.opened = true
+	return nil
+}
+
+func (it *indexJoinIter) Next() (storage.Row, bool, error) {
+	if !it.opened {
+		return nil, false, fmt.Errorf("exec: Index-Join next before open")
+	}
+	for {
+		for it.ridPos < len(it.rids) {
+			rid := it.rids[it.ridPos]
+			it.ridPos++
+			inner, err := it.table.Fetch(rid, it.db.Acc, it.db.Pool)
+			if err != nil {
+				return nil, false, err
+			}
+			it.db.Acc.Tuples(1)
+			if it.residCol >= 0 && float64(inner[it.residCol]) >= it.residLimit {
+				continue
+			}
+			return storage.Concat(it.cur, inner), true, nil
+		}
+		row, ok, err := it.outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.db.Acc.Tuples(1)
+		it.cur = row.Clone()
+		it.rids = it.tree.Search(row[it.ocol])
+		it.ridPos = 0
+	}
+}
+
+func (it *indexJoinIter) Close() error { return it.outer.Close() }
+
+// buildSort compiles the Sort enforcer: drain, sort by the key column,
+// and charge external-sort I/O when the input exceeds the run-time memory.
+func (db *DB) buildSort(n *physical.Node, b *bindings.Bindings) (Iterator, Schema, error) {
+	child, schema, err := db.Build(n.Children[0], b)
+	if err != nil {
+		return nil, nil, err
+	}
+	col, err := schema.Index(n.Attr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &sortIter{
+		db: db, child: child, col: col,
+		rowBytes: n.Children[0].RowBytes,
+		memPages: b.Memory,
+	}, schema, nil
+}
+
+type sortIter struct {
+	db       *DB
+	child    Iterator
+	col      int
+	rowBytes int
+	memPages float64
+
+	rows []storage.Row
+	pos  int
+}
+
+func (it *sortIter) Open() error {
+	if err := it.child.Open(); err != nil {
+		return err
+	}
+	it.rows = it.rows[:0]
+	it.pos = 0
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		it.rows = append(it.rows, row.Clone())
+		it.db.Acc.Tuples(1)
+	}
+	if err := it.child.Close(); err != nil {
+		return err
+	}
+	sort.SliceStable(it.rows, func(i, j int) bool {
+		return it.rows[i][it.col] < it.rows[j][it.col]
+	})
+	// Charge external-sort I/O when the input would not fit in memory:
+	// run generation plus merge passes, write + read each (mirroring the
+	// cost model's formula).
+	pages := pagesOf(it.rowBytes, len(it.rows))
+	mem := it.memPages
+	if mem < 3 {
+		mem = 3
+	}
+	if pages > mem {
+		runs := (pages + mem - 1) / mem
+		fanIn := mem - 1
+		passes := 0.0
+		for r := runs; r > 1; r = (r + fanIn - 1) / fanIn {
+			passes++
+		}
+		if passes < 1 {
+			passes = 1
+		}
+		total := int64(pages * passes)
+		it.db.Acc.Write(total)
+		it.db.Acc.ReadSeq(total)
+	}
+	return nil
+}
+
+func (it *sortIter) Next() (storage.Row, bool, error) {
+	if it.pos >= len(it.rows) {
+		return nil, false, nil
+	}
+	row := it.rows[it.pos]
+	it.pos++
+	return row, true, nil
+}
+
+func (it *sortIter) Close() error {
+	it.rows = nil
+	return nil
+}

@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"math"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/btree"
+	"dynplan/internal/physical"
+	"dynplan/internal/storage"
+)
+
+// buildFileScan compiles File-Scan: a sequential heap-file scan.
+func (db *DB) buildFileScan(n *physical.Node) (Iterator, Schema, error) {
+	schema, _, err := db.relSchema(n.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := db.Store.Table(n.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &fileScanIter{table: table, acc: db.Acc}, schema, nil
+}
+
+type fileScanIter struct {
+	table *storage.Table
+	acc   *storage.Accountant
+	page  int
+	slot  int
+}
+
+func (it *fileScanIter) Open() error {
+	it.page, it.slot = 0, 0
+	return nil
+}
+
+func (it *fileScanIter) Next() (storage.Row, bool, error) {
+	for it.page < it.table.NumPages() {
+		row, err := it.table.Get(storage.RID{Page: int32(it.page), Slot: int32(it.slot)})
+		if err != nil {
+			// Page exhausted; advance.
+			it.page++
+			it.slot = 0
+			continue
+		}
+		if it.slot == 0 {
+			it.acc.ReadSeq(1)
+		}
+		it.slot++
+		it.acc.Tuples(1)
+		return row, true, nil
+	}
+	return nil, false, nil
+}
+
+func (it *fileScanIter) Close() error { return nil }
+
+// buildBtreeScan compiles B-tree-Scan: a full scan through an unclustered
+// index, delivering rows in index order at one random I/O per record.
+func (db *DB) buildBtreeScan(n *physical.Node) (Iterator, Schema, error) {
+	schema, _, err := db.relSchema(n.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := db.Store.Table(n.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := db.index(n.Rel, n.Attr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &btreeScanIter{
+		db: db, table: table, tree: tree,
+		lo: math.Inf(-1), hi: math.Inf(1),
+	}, schema, nil
+}
+
+// buildFilterBtreeScan compiles Filter-B-tree-Scan: an index range scan
+// fetching only qualifying records.
+func (db *DB) buildFilterBtreeScan(n *physical.Node, b *bindings.Bindings) (Iterator, Schema, error) {
+	schema, _, err := db.relSchema(n.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := db.Store.Table(n.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := db.index(n.Rel, n.Attr)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, limit, err := db.predicate(n.SelAttr, n.Var, n.FixedSel, schema, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &btreeScanIter{
+		db: db, table: table, tree: tree,
+		lo: math.Inf(-1), hi: limit, exclusiveHi: true,
+	}, schema, nil
+}
+
+// btreeScanIter drains an index range eagerly at Open (collecting RIDs,
+// which are small) and fetches records lazily, charging one random I/O
+// per fetch.
+type btreeScanIter struct {
+	db    *DB
+	table *storage.Table
+	tree  *btree.Tree
+	lo    float64
+	hi    float64
+	// exclusiveHi makes the upper bound strict ("attr < hi"), the
+	// predicate form bound selectivities translate to.
+	exclusiveHi bool
+
+	rids []storage.RID
+	pos  int
+}
+
+func (it *btreeScanIter) Open() error {
+	it.rids = it.rids[:0]
+	it.pos = 0
+	loKey := int64(math.MinInt64)
+	if !math.IsInf(it.lo, -1) {
+		loKey = int64(math.Ceil(it.lo))
+	}
+	hiKey := int64(math.MaxInt64)
+	if !math.IsInf(it.hi, 1) {
+		if it.exclusiveHi {
+			hiKey = int64(math.Ceil(it.hi)) - 1
+		} else {
+			hiKey = int64(math.Floor(it.hi))
+		}
+	}
+	if hiKey < loKey {
+		return nil
+	}
+	it.tree.Range(loKey, hiKey, func(_ int64, rid storage.RID) bool {
+		it.rids = append(it.rids, rid)
+		return true
+	})
+	return nil
+}
+
+func (it *btreeScanIter) Next() (storage.Row, bool, error) {
+	if it.pos >= len(it.rids) {
+		return nil, false, nil
+	}
+	rid := it.rids[it.pos]
+	it.pos++
+	row, err := it.table.Fetch(rid, it.db.Acc, it.db.Pool)
+	if err != nil {
+		return nil, false, err
+	}
+	it.db.Acc.Tuples(1)
+	return row, true, nil
+}
+
+func (it *btreeScanIter) Close() error { return nil }
+
+// buildFilter compiles Filter: a streaming selection.
+func (db *DB) buildFilter(n *physical.Node, b *bindings.Bindings) (Iterator, Schema, error) {
+	child, schema, err := db.Build(n.Children[0], b)
+	if err != nil {
+		return nil, nil, err
+	}
+	col, limit, err := db.predicate(n.SelAttr, n.Var, n.FixedSel, schema, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &filterIter{child: child, col: col, limit: limit, acc: db.Acc}, schema, nil
+}
+
+type filterIter struct {
+	child Iterator
+	col   int
+	limit float64
+	acc   *storage.Accountant
+}
+
+func (it *filterIter) Open() error { return it.child.Open() }
+
+func (it *filterIter) Next() (storage.Row, bool, error) {
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.acc.Tuples(1)
+		if float64(row[it.col]) < it.limit {
+			return row, true, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() error { return it.child.Close() }

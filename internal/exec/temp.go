@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"fmt"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/physical"
+	"dynplan/internal/storage"
+)
+
+// Temp is a materialized intermediate result: rows in a page-shaped
+// container plus their schema. The adaptive executor (internal/adaptive)
+// creates temps when a choose-plan decision procedure evaluates a subplan
+// to learn its actual cardinality — the paper's §7 direction.
+type Temp struct {
+	Schema Schema
+	Table  *storage.Table
+}
+
+// AddTemp registers a materialized result under a name, charging the page
+// writes needed to spool it (the cost of evaluating a subplan into a
+// temporary result).
+func (db *DB) AddTemp(name string, schema Schema, rows []storage.Row, rowBytes int) *Temp {
+	if db.Temps == nil {
+		db.Temps = make(map[string]*Temp)
+	}
+	t := storage.NewTable(name, rowBytes)
+	for _, r := range rows {
+		t.Append(r)
+	}
+	if db.Acc == nil {
+		db.Acc = &storage.Accountant{}
+	}
+	db.Acc.Write(int64(t.NumPages()))
+	temp := &Temp{Schema: schema, Table: t}
+	db.Temps[name] = temp
+	return temp
+}
+
+// Materialize executes a subplan and spools its result into a temporary,
+// returning the temp and the observed cardinality.
+func (db *DB) Materialize(name string, n *physical.Node, b *bindings.Bindings) (*Temp, int, error) {
+	rows, schema, err := db.Run(n, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	temp := db.AddTemp(name, schema, rows, n.RowBytes)
+	return temp, len(rows), nil
+}
+
+// buildTempScan compiles Temp-Scan.
+func (db *DB) buildTempScan(n *physical.Node) (Iterator, Schema, error) {
+	temp, ok := db.Temps[n.Rel]
+	if !ok {
+		return nil, nil, fmt.Errorf("exec: unknown temporary %q", n.Rel)
+	}
+	return &tempScanIter{table: temp.Table, acc: db.Acc}, temp.Schema, nil
+}
+
+type tempScanIter struct {
+	table *storage.Table
+	acc   *storage.Accountant
+	rows  []storage.Row
+	pos   int
+}
+
+func (it *tempScanIter) Open() error {
+	it.rows = it.rows[:0]
+	it.pos = 0
+	it.table.Scan(it.acc, func(r storage.Row) bool {
+		it.rows = append(it.rows, r)
+		return true
+	})
+	return nil
+}
+
+func (it *tempScanIter) Next() (storage.Row, bool, error) {
+	if it.pos >= len(it.rows) {
+		return nil, false, nil
+	}
+	row := it.rows[it.pos]
+	it.pos++
+	it.acc.Tuples(1)
+	return row, true, nil
+}
+
+func (it *tempScanIter) Close() error {
+	it.rows = nil
+	return nil
+}

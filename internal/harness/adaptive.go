@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"dynplan/internal/adaptive"
+	"dynplan/internal/bindings"
+	"dynplan/internal/btree"
+	"dynplan/internal/catalog"
+	"dynplan/internal/exec"
+	"dynplan/internal/logical"
+	"dynplan/internal/plan"
+	"dynplan/internal/runtimeopt"
+	"dynplan/internal/search"
+	"dynplan/internal/storage"
+	"dynplan/internal/workload"
+)
+
+// AdaptivePoint is one row of the extension experiment: start-up
+// decisions versus §7 run-time decisions under selectivity estimation
+// error, on a catalog whose joins grow (fan-out > 1) so wrong decisions
+// compound.
+type AdaptivePoint struct {
+	Relations int
+	Claimed   float64
+	Actual    float64
+	// Simulated execution seconds (I/O + CPU accounted by the engine).
+	StartupExec  float64
+	AdaptiveExec float64
+	// Materialized subplans in the adaptive run.
+	Materialized int
+	// RowsAgree is false if the two strategies returned different results
+	// (they never should).
+	RowsAgree bool
+}
+
+// adaptiveCase builds the high-fan-out catalog, chain query, and skewed
+// database of the §7 experiment.
+func adaptiveCase(nRels int, skew float64, seed int64) (*logical.Query, func() *exec.DB, error) {
+	cat := catalog.New()
+	const card = 800
+	joinDom := card / 5
+	for i := 1; i <= nRels; i++ {
+		rel := catalog.NewRelation(fmt.Sprintf("E%d", i), card, 512,
+			catalog.NewAttribute("a", card, true),
+			catalog.NewAttribute("jl", joinDom, true),
+			catalog.NewAttribute("jh", joinDom, true),
+		)
+		if err := cat.AddRelation(rel); err != nil {
+			return nil, nil, err
+		}
+	}
+	q := &logical.Query{}
+	for i := 1; i <= nRels; i++ {
+		rel := cat.MustRelation(fmt.Sprintf("E%d", i))
+		q.Rels = append(q.Rels, logical.QRel{Rel: rel,
+			Pred: &logical.SelPred{Attr: rel.MustAttribute("a"), Variable: fmt.Sprintf("v%d", i)}})
+	}
+	for i := 0; i+1 < nRels; i++ {
+		q.Edges = append(q.Edges, logical.JoinEdge{Left: i, Right: i + 1,
+			LeftAttr:  q.Rels[i].Rel.MustAttribute("jh"),
+			RightAttr: q.Rels[i+1].Rel.MustAttribute("jl")})
+	}
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	// Data loader closure: each call returns a fresh DB over identical
+	// skewed data with a zeroed accountant.
+	w := &skewedLoader{cat: cat, skew: skew, seed: seed}
+	return q, w.open, nil
+}
+
+type skewedLoader struct {
+	cat  *catalog.Catalog
+	skew float64
+	seed int64
+}
+
+func (l *skewedLoader) open() *exec.DB {
+	// Reuse workload's skewed generator semantics over a custom catalog.
+	store := storage.NewStore()
+	rng := newRand(l.seed)
+	for _, rel := range l.cat.Relations() {
+		tab := storage.NewTable(rel.Name, rel.RecordBytes)
+		for i := 0; i < rel.Cardinality; i++ {
+			row := make(storage.Row, len(rel.Attrs))
+			for j, a := range rel.Attrs {
+				u := rng.Float64()
+				if a.Name == "a" {
+					u = pow(u, l.skew)
+				}
+				v := int64(u * float64(a.DomainSize))
+				if v >= int64(a.DomainSize) {
+					v = int64(a.DomainSize) - 1
+				}
+				row[j] = v
+			}
+			tab.Append(row)
+		}
+		store.AddTable(tab)
+	}
+	db := &exec.DB{Catalog: l.cat, Store: store, Acc: &storage.Accountant{},
+		Indexes: make(map[string]map[string]*btree.Tree)}
+	for _, rel := range l.cat.Relations() {
+		tab, _ := store.Table(rel.Name)
+		db.Indexes[rel.Name] = make(map[string]*btree.Tree)
+		for j, a := range rel.Attrs {
+			db.Indexes[rel.Name][a.Name] = btree.Build(tab, j, btree.DefaultOrder)
+		}
+	}
+	return db
+}
+
+// RunAdaptive produces the §7 extension experiment series.
+func RunAdaptive(cfg Config) ([]*AdaptivePoint, error) {
+	params := cfg.params()
+	seconds := func(acc *storage.Accountant) float64 {
+		return acc.Seconds(params.SeqPageTime, params.RandIOTime, params.SeqPageTime, params.TupleCPUTime)
+	}
+	const skew = 4
+	var points []*AdaptivePoint
+	for _, nRels := range []int{2, 3, 4} {
+		q, open, err := adaptiveCase(nRels, skew, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := runtimeopt.OptimizeDynamic(q, search.Config{Params: params}, false)
+		if err != nil {
+			return nil, err
+		}
+		mod, err := plan.NewModule(dyn.Plan)
+		if err != nil {
+			return nil, err
+		}
+		for _, claimed := range []float64{0.005, 0.02} {
+			b := bindings.NewBindings(params.ExpectedMemory)
+			for i := 1; i <= nRels; i++ {
+				b.BindSelectivity(fmt.Sprintf("v%d", i), claimed)
+			}
+
+			dbS := open()
+			rep, err := mod.Activate(b, plan.StartupOptions{Params: params})
+			if err != nil {
+				return nil, err
+			}
+			rowsS, _, err := dbS.Run(rep.Chosen, b)
+			if err != nil {
+				return nil, err
+			}
+
+			dbA := open()
+			res, err := adaptive.Run(dbA, dyn.Plan, b, adaptive.Options{Params: params})
+			if err != nil {
+				return nil, err
+			}
+
+			points = append(points, &AdaptivePoint{
+				Relations:    nRels,
+				Claimed:      claimed,
+				Actual:       workload.ActualSelectivity(claimed, skew),
+				StartupExec:  seconds(dbS.Acc),
+				AdaptiveExec: seconds(dbA.Acc),
+				Materialized: res.Materialized,
+				RowsAgree:    len(rowsS) == len(res.Rows),
+			})
+		}
+	}
+	return points, nil
+}
+
+// AdaptiveReport renders the extension experiment.
+func AdaptiveReport(points []*AdaptivePoint) string {
+	var b strings.Builder
+	b.WriteString(header("Extension (§7): start-up vs run-time decisions under estimation error"))
+	fmt.Fprintf(&b, "%-6s %9s %8s  %12s %13s %6s %6s %7s\n",
+		"rels", "claimed", "actual", "startup [s]", "adaptive [s]", "ratio", "mater.", "agree")
+	for _, p := range points {
+		ratio := 0.0
+		if p.AdaptiveExec > 0 {
+			ratio = p.StartupExec / p.AdaptiveExec
+		}
+		fmt.Fprintf(&b, "%-6d %9.3f %8.3f  %12.4g %13.4g %5.1fx %6d %7v\n",
+			p.Relations, p.Claimed, p.Actual, p.StartupExec, p.AdaptiveExec, ratio,
+			p.Materialized, p.RowsAgree)
+	}
+	return b.String()
+}
+
+// small local helpers (kept here to avoid polluting workload's API).
+
+func pow(u, e float64) float64 {
+	r := 1.0
+	for i := 0; i < int(e); i++ {
+		r *= u
+	}
+	return r
+}
+
+func newRand(seed int64) *randSource {
+	return &randSource{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+// randSource is a tiny splitmix-style generator so the harness does not
+// depend on math/rand's global ordering guarantees across Go versions.
+type randSource struct{ state uint64 }
+
+func (r *randSource) Float64() float64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

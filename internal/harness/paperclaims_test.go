@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestPaperClaims is the single regression test for the paper's
+// qualitative results: it runs the full §6 grid at reduced N and asserts
+// every directional claim of the abstract and §6. If this test passes,
+// the repository reproduces the paper.
+func TestPaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	cfg := DefaultConfig()
+	cfg.N = 12
+	cfg.OptRepeats = 1
+	points, err := Grid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortPoints(points)
+
+	var q1Ratio, q5Ratio float64
+	for _, p := range points {
+		tag := p.Spec.Name + "/" + curveName(p.MemUncertain)
+
+		// Abstract claim (i): the extra optimization and start-up overhead
+		// of dynamic plans is dominated by their run-time advantage.
+		if p.AvgDynamicExec >= p.AvgStaticExec {
+			t.Errorf("%s: dynamic execution (%g) not better than static (%g)",
+				tag, p.AvgDynamicExec, p.AvgStaticExec)
+		}
+
+		// Abstract claim (ii): robustness — ∀i gᵢ = dᵢ (ε-aware).
+		if p.GuaranteeViolations != 0 {
+			t.Errorf("%s: %d guarantee violations (max delta %g)",
+				tag, p.GuaranteeViolations, p.MaxGuaranteeDelta)
+		}
+
+		// Abstract claim (iii): dynamic-plan start-up is significantly
+		// cheaper than complete optimization at run-time.
+		startup := p.AvgStartupCPUSim + p.StartupIOSim
+		if p.Spec.Relations >= 2 && startup >= p.AvgRuntimeOptSim {
+			t.Errorf("%s: start-up (%g) not cheaper than re-optimization (%g)",
+				tag, startup, p.AvgRuntimeOptSim)
+		}
+
+		// §6: optimization-time increase below a factor of 3 (Figure 5).
+		if ratio := p.DynamicOptSim / p.StaticOptSim; ratio >= 3 {
+			t.Errorf("%s: dynamic optimization %gx static (paper: < 3x)", tag, ratio)
+		}
+
+		// §6: branch-and-bound erosion under interval costs (Figure 5's
+		// explanation) — static prunes more than dynamic.
+		if p.Spec.Relations >= 2 && p.StaticStats.PrunedByBound <= p.DynamicStats.PrunedByBound {
+			t.Errorf("%s: pruning not eroded (static %d vs dynamic %d)",
+				tag, p.StaticStats.PrunedByBound, p.DynamicStats.PrunedByBound)
+		}
+
+		// §6: break-even against run-time optimization within a few
+		// invocations for other-than-the-simplest queries (paper: 2–4).
+		if p.Spec.Relations >= 2 {
+			if p.BreakEvenRuntime < 1 || p.BreakEvenRuntime > 4 {
+				t.Errorf("%s: break-even vs run-time optimization = %d (paper: 2–4)",
+					tag, p.BreakEvenRuntime)
+			}
+		}
+
+		// Figure 6: plan sizes grow with uncertain variables but memory
+		// uncertainty barely matters.
+		if p.DynamicNodes <= p.StaticNodes && p.Spec.Relations > 1 {
+			t.Errorf("%s: dynamic plan (%d nodes) not larger than static (%d)",
+				tag, p.DynamicNodes, p.StaticNodes)
+		}
+
+		if !p.MemUncertain {
+			switch p.Spec.Relations {
+			case 1:
+				q1Ratio = p.AvgStaticExec / p.AvgDynamicExec
+			case 10:
+				q5Ratio = p.AvgStaticExec / p.AvgDynamicExec
+			}
+		}
+	}
+
+	// Figure 4 anchors: ≈5× at query 1, substantially more leverage at
+	// query 5 in absolute terms (paper: 5× → 24×; our calibration: see
+	// EXPERIMENTS.md).
+	if q1Ratio < 3 {
+		t.Errorf("query 1 static/dynamic ratio %g, want ≥ 3 (paper ≈ 5)", q1Ratio)
+	}
+	if q5Ratio < 3 {
+		t.Errorf("query 5 static/dynamic ratio %g, want ≥ 3", q5Ratio)
+	}
+
+	// Figure 6 monotone growth along the selectivity-only curve.
+	var prevNodes int
+	for _, p := range points {
+		if p.MemUncertain {
+			continue
+		}
+		if p.DynamicNodes <= prevNodes {
+			t.Errorf("plan size not growing: %d nodes at %d relations (prev %d)",
+				p.DynamicNodes, p.Spec.Relations, prevNodes)
+		}
+		prevNodes = p.DynamicNodes
+	}
+
+	// Memory uncertainty adds no nodes in our instantiation (paper:
+	// "only barely increases").
+	bySize := make(map[int][2]int)
+	for _, p := range points {
+		v := bySize[p.Spec.Relations]
+		if p.MemUncertain {
+			v[1] = p.DynamicNodes
+		} else {
+			v[0] = p.DynamicNodes
+		}
+		bySize[p.Spec.Relations] = v
+	}
+	for n, v := range bySize {
+		if v[1] < v[0] || v[1] > v[0]*2 {
+			t.Errorf("%d relations: memory uncertainty changed plan size %d -> %d", n, v[0], v[1])
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package logical
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/catalog"
+	"dynplan/internal/cost"
+)
+
+// chainQuery builds an n-relation chain with one unbound selection per
+// relation, the experimental query shape.
+func chainQuery(n int) *Query {
+	q := &Query{}
+	for i := 0; i < n; i++ {
+		rel := catalog.NewRelation(relName(i), 100*(i+1), 512,
+			catalog.NewAttribute("a", 80*(i+1), true),
+			catalog.NewAttribute("jl", 50*(i+1), true),
+			catalog.NewAttribute("jh", 60*(i+1), true),
+		)
+		q.Rels = append(q.Rels, QRel{
+			Rel:  rel,
+			Pred: &SelPred{Attr: rel.MustAttribute("a"), Variable: varName(i)},
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		q.Edges = append(q.Edges, JoinEdge{
+			Left: i, Right: i + 1,
+			LeftAttr:  q.Rels[i].Rel.MustAttribute("jh"),
+			RightAttr: q.Rels[i+1].Rel.MustAttribute("jl"),
+		})
+	}
+	return q
+}
+
+func relName(i int) string { return string(rune('A' + i)) }
+func varName(i int) string { return "v" + string(rune('1'+i)) }
+
+func TestRelSetOps(t *testing.T) {
+	s := Bit(0) | Bit(3) | Bit(5)
+	if !s.Has(3) || s.Has(1) {
+		t.Error("Has misbehaves")
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.IsSingleton() {
+		t.Error("three-member set is not singleton")
+	}
+	if !Bit(7).IsSingleton() || Bit(7).Single() != 7 {
+		t.Error("singleton ops misbehave")
+	}
+	m := s.Members()
+	if len(m) != 3 || m[0] != 0 || m[1] != 3 || m[2] != 5 {
+		t.Errorf("Members = %v", m)
+	}
+}
+
+func TestValidateAcceptsChain(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		if err := chainQuery(n).Validate(); err != nil {
+			t.Errorf("chain %d: %v", n, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	// Disconnected query.
+	q := chainQuery(3)
+	q.Edges = q.Edges[:1]
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "not connected") {
+		t.Errorf("disconnected query: %v", err)
+	}
+	// Self join edge.
+	q = chainQuery(2)
+	q.Edges[0].Right = 0
+	if err := q.Validate(); err == nil {
+		t.Error("self edge must be rejected")
+	}
+	// Out-of-range edge.
+	q = chainQuery(2)
+	q.Edges[0].Right = 9
+	if err := q.Validate(); err == nil {
+		t.Error("out-of-range edge must be rejected")
+	}
+	// Foreign selection attribute.
+	q = chainQuery(2)
+	q.Rels[0].Pred.Attr = q.Rels[1].Rel.MustAttribute("a")
+	if err := q.Validate(); err == nil {
+		t.Error("selection on foreign attribute must be rejected")
+	}
+	// Empty query.
+	if err := (&Query{}).Validate(); err == nil {
+		t.Error("empty query must be rejected")
+	}
+	// Edge attribute not matching endpoint.
+	q = chainQuery(3)
+	q.Edges[0].LeftAttr = q.Rels[2].Rel.MustAttribute("jh")
+	if err := q.Validate(); err == nil {
+		t.Error("edge with mismatched attribute must be rejected")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	q := chainQuery(4)
+	if !q.Connected(Bit(0) | Bit(1) | Bit(2)) {
+		t.Error("prefix of chain is connected")
+	}
+	if q.Connected(Bit(0) | Bit(2)) {
+		t.Error("non-adjacent pair of chain is not connected")
+	}
+	if !q.Connected(Bit(2)) {
+		t.Error("singleton is connected")
+	}
+	if q.Connected(0) {
+		t.Error("empty set is not connected")
+	}
+}
+
+func TestCrossingEdges(t *testing.T) {
+	q := chainQuery(4)
+	edges := q.CrossingEdges(Bit(0)|Bit(1), Bit(2)|Bit(3))
+	if len(edges) != 1 || edges[0].Left != 1 || edges[0].Right != 2 {
+		t.Errorf("CrossingEdges = %v", edges)
+	}
+	if got := q.CrossingEdges(Bit(0), Bit(2)); len(got) != 0 {
+		t.Errorf("no edge should cross 0-2: %v", got)
+	}
+}
+
+func TestEdgeSelectivity(t *testing.T) {
+	q := chainQuery(2)
+	e := q.Edges[0]
+	// jh of A has domain 60, jl of B has domain 100: sel = 1/100.
+	if got := e.Selectivity(); got != 1.0/100 {
+		t.Errorf("edge selectivity = %g", got)
+	}
+}
+
+func TestCardinalityPointEnv(t *testing.T) {
+	q := chainQuery(2)
+	env := bindings.NewEnv(cost.PointRange(64)).
+		Bind("v1", cost.PointRange(0.5)).
+		Bind("v2", cost.PointRange(0.1))
+	// |A|=100 sel .5, |B|=200 sel .1, edge sel 1/100.
+	card := q.Cardinality(q.AllRels(), env)
+	want := 100.0 * 0.5 * 200 * 0.1 / 100
+	if !card.IsPoint() || card.Lo != want {
+		t.Errorf("cardinality = %v, want %g", card, want)
+	}
+}
+
+// TestCardinalityContainment: the interval cardinality under an uncertain
+// env contains the point cardinality of any binding within the env.
+func TestCardinalityContainment(t *testing.T) {
+	q := chainQuery(4)
+	uncertain := bindings.NewEnv(cost.PointRange(64))
+	for i := 0; i < 4; i++ {
+		uncertain.Bind(varName(i), cost.NewRange(0, 1))
+	}
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		rng.Seed(seed)
+		point := bindings.NewEnv(cost.PointRange(64))
+		for i := 0; i < 4; i++ {
+			point.Bind(varName(i), cost.PointRange(rng.Float64()))
+		}
+		for s := RelSet(1); s <= q.AllRels(); s++ {
+			if s&q.AllRels() != s || !q.Connected(s) {
+				continue
+			}
+			iv := q.Cardinality(s, uncertain)
+			pt := q.Cardinality(s, point)
+			if !iv.ContainsRange(pt) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaseCardinality(t *testing.T) {
+	q := chainQuery(2)
+	env := bindings.NewEnv(cost.PointRange(64)).Bind("v1", cost.PointRange(0.25))
+	if got := q.BaseCardinality(0, env); got != cost.PointRange(25) {
+		t.Errorf("BaseCardinality = %v", got)
+	}
+	// Relation without predicate.
+	q.Rels[0].Pred = nil
+	if got := q.BaseCardinality(0, env); got != cost.PointRange(100) {
+		t.Errorf("BaseCardinality without pred = %v", got)
+	}
+}
+
+func TestRowBytesAndPages(t *testing.T) {
+	q := chainQuery(3)
+	if got := q.RowBytes(Bit(0) | Bit(1)); got != 1024 {
+		t.Errorf("RowBytes = %d", got)
+	}
+	// 1024-byte rows: 2 per 2048-byte page.
+	if got := q.PagesFor(Bit(0)|Bit(1), 5); got != 3 {
+		t.Errorf("PagesFor = %g", got)
+	}
+	if got := q.PagesFor(Bit(0), 0); got != 0 {
+		t.Errorf("PagesFor(0 rows) = %g", got)
+	}
+}
+
+func TestVariablesAndRelIndex(t *testing.T) {
+	q := chainQuery(3)
+	vars := q.Variables()
+	if len(vars) != 3 || vars[0] != "v1" {
+		t.Errorf("Variables = %v", vars)
+	}
+	if q.RelIndex("B") != 1 || q.RelIndex("zzz") != -1 {
+		t.Error("RelIndex misbehaves")
+	}
+}
+
+// TestLogicalAlternativesChain checks the closed-form counts of bushy
+// trees (ordered operands, no cross products) over chains.
+func TestLogicalAlternativesChain(t *testing.T) {
+	want := map[int]float64{1: 1, 2: 2, 3: 8, 4: 40, 5: 224}
+	for n, w := range want {
+		q := chainQuery(n)
+		if got := q.LogicalAlternatives(q.AllRels()); got != w {
+			t.Errorf("chain %d: alternatives = %g, want %g", n, got, w)
+		}
+	}
+}
+
+func TestSelPredForms(t *testing.T) {
+	q := chainQuery(1)
+	env := bindings.NewEnv(cost.PointRange(64))
+	unbound := q.Rels[0].Pred
+	if got := unbound.Selectivity(env); got != cost.NewRange(0, 1) {
+		t.Errorf("unbound selectivity = %v", got)
+	}
+	bound := &SelPred{Attr: unbound.Attr, FixedSel: 0.2}
+	if got := bound.Selectivity(env); got != cost.PointRange(0.2) {
+		t.Errorf("bound selectivity = %v", got)
+	}
+	var none *SelPred
+	if got := none.Selectivity(env); got != cost.PointRange(1) {
+		t.Errorf("nil pred selectivity = %v", got)
+	}
+	if s := unbound.String(); !strings.Contains(s, "?v1") {
+		t.Errorf("unbound String = %q", s)
+	}
+	if s := bound.String(); !strings.Contains(s, "0.2") {
+		t.Errorf("bound String = %q", s)
+	}
+	if none.String() != "true" {
+		t.Errorf("nil pred String = %q", none.String())
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	s := chainQuery(2).String()
+	if !strings.Contains(s, "⋈") || !strings.Contains(s, "σ[A.a <= ?v1](A)") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTooManyRelations(t *testing.T) {
+	q := &Query{}
+	rel := catalog.NewRelation("R", 10, 512, catalog.NewAttribute("a", 5, false))
+	for i := 0; i < 65; i++ {
+		q.Rels = append(q.Rels, QRel{Rel: rel})
+	}
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "max 64") {
+		t.Errorf("oversized query: %v", err)
+	}
+}

@@ -1,0 +1,38 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+
+	"dynplan/internal/bindings"
+)
+
+// FormatWithCosts renders the DAG like Node.Format but annotates every
+// operator with its output-cardinality and cumulative-cost estimates
+// under the given environment — interval annotations at compile-time,
+// point annotations for bound environments (EXPLAIN with costs).
+func (n *Node) FormatWithCosts(m *Model, env *bindings.Env) string {
+	sess := m.NewSession(env)
+	sess.Evaluate(n)
+	var b strings.Builder
+	ids := make(map[*Node]int)
+	printed := make(map[*Node]bool)
+	n.assignIDs(ids)
+	n.formatCosts(&b, 0, ids, printed, sess)
+	return b.String()
+}
+
+func (n *Node) formatCosts(b *strings.Builder, depth int, ids map[*Node]int, printed map[*Node]bool, sess *Session) {
+	indent := strings.Repeat("  ", depth)
+	if printed[n] {
+		fmt.Fprintf(b, "%s@%d (shared %s)\n", indent, ids[n], n.Op)
+		return
+	}
+	printed[n] = true
+	res := sess.Evaluate(n)
+	fmt.Fprintf(b, "%s@%d %s  [rows=%s cost=%s]\n",
+		indent, ids[n], n.label(), res.Card, res.Cost)
+	for _, c := range n.Children {
+		c.formatCosts(b, depth+1, ids, printed, sess)
+	}
+}

@@ -1,0 +1,51 @@
+package physical
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/cost"
+)
+
+// BenchmarkEvaluate measures cost evaluation of a realistic dynamic-plan
+// DAG — the inner loop of both compile-time search and start-up-time
+// decisions.
+func BenchmarkEvaluate(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	idx := 0
+	plan := randomPlan(rng, 5, &idx)
+	model := NewModel(DefaultParams())
+	vars := plan.Variables()
+
+	b.Run("interval-env", func(b *testing.B) {
+		env := uncertainEnv(vars, true)
+		for b.Loop() {
+			model.Evaluate(plan, env)
+		}
+	})
+	b.Run("point-env", func(b *testing.B) {
+		env := bindings.NewEnv(cost.PointRange(64))
+		for _, v := range vars {
+			env.Bind(v, cost.PointRange(0.4))
+		}
+		for b.Loop() {
+			model.Evaluate(plan, env)
+		}
+	})
+}
+
+// BenchmarkCompare measures the interval comparison primitive.
+func BenchmarkCompare(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	costs := make([]cost.Cost, 1024)
+	for i := range costs {
+		lo := rng.Float64() * 10
+		costs[i] = cost.Interval(lo, lo+rng.Float64()*10)
+	}
+	i := 0
+	for b.Loop() {
+		_ = costs[i%1024].Compare(costs[(i+7)%1024])
+		i++
+	}
+}

@@ -1,0 +1,284 @@
+// Package plan implements the run-time life cycle of query evaluation
+// plans: access modules (the serialized plan representation read at
+// start-up), start-up-time activation with choose-plan decision
+// procedures, and the access-module shrinking heuristic of §4.
+//
+// An access module stores the plan DAG produced by the search engine.
+// Dynamic plans contain choose-plan operators; activation instantiates the
+// run-time bindings, re-evaluates the cost functions of the alternative
+// plans — the decision procedure the paper advocates over inverted cost
+// functions (§4) — and resolves every choose-plan to its cheapest input,
+// yielding an ordinary static plan for the execution engine. Shared
+// subplans are evaluated once (the DAG representation reduces both module
+// size and start-up CPU time, §4), and an optional branch-and-bound mode
+// aborts the evaluation of alternatives that provably exceed the best
+// alternative found so far — a technique the paper proposes but did not
+// implement ("for simplicity, we did not implement branch-and-bound
+// pruning at start-up-time").
+package plan
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dynplan/internal/physical"
+)
+
+// moduleMagic identifies serialized access modules.
+const moduleMagic = "DYNPLAN1"
+
+// AccessModule is a serialized query evaluation plan plus its in-memory
+// form. Static and dynamic plans use the same representation; dynamic
+// plans simply contain choose-plan nodes.
+type AccessModule struct {
+	root  *physical.Node
+	nodes int
+	raw   []byte
+
+	// usage maps each DAG node to the number of activations whose chosen
+	// plan included it, the statistic driving the shrinking heuristic.
+	usage       map[*physical.Node]int
+	activations int
+}
+
+// NewModule serializes a plan DAG into an access module.
+func NewModule(root *physical.Node) (*AccessModule, error) {
+	if err := root.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: invalid plan: %w", err)
+	}
+	if n := root.Operators()[physical.TempScan]; n > 0 {
+		return nil, fmt.Errorf("plan: plan contains %d Temp-Scan operators; temporaries exist only at run-time and cannot be serialized", n)
+	}
+	raw, err := encode(root)
+	if err != nil {
+		return nil, err
+	}
+	return &AccessModule{
+		root:  root,
+		nodes: root.CountNodes(),
+		raw:   raw,
+		usage: make(map[*physical.Node]int),
+	}, nil
+}
+
+// Load deserializes an access module. The resulting DAG preserves subplan
+// sharing exactly.
+func Load(raw []byte) (*AccessModule, error) {
+	root, err := decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := root.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: loaded module is invalid: %w", err)
+	}
+	return &AccessModule{
+		root:  root,
+		nodes: root.CountNodes(),
+		raw:   raw,
+		usage: make(map[*physical.Node]int),
+	}, nil
+}
+
+// Root returns the plan DAG.
+func (m *AccessModule) Root() *physical.Node { return m.root }
+
+// NodeCount returns the number of distinct operator nodes, the paper's
+// plan-size metric (Figure 6).
+func (m *AccessModule) NodeCount() int { return m.nodes }
+
+// Bytes returns the serialized form.
+func (m *AccessModule) Bytes() []byte { return m.raw }
+
+// ReadTime returns the simulated time to read the module from contiguous
+// disk locations under the paper's fixed-node-size model (§6: 128-byte
+// nodes at 2 MB/s, about 16,000 nodes per second).
+func (m *AccessModule) ReadTime(p physical.Params) float64 {
+	return p.ModuleReadTime(m.nodes)
+}
+
+// Activations returns how many times the module has been activated.
+func (m *AccessModule) Activations() int { return m.activations }
+
+// encode serializes the DAG: nodes in topological (children-first) order,
+// children referenced by index, root last.
+func encode(root *physical.Node) ([]byte, error) {
+	var order []*physical.Node
+	index := make(map[*physical.Node]int)
+	var visit func(n *physical.Node)
+	visit = func(n *physical.Node) {
+		if _, ok := index[n]; ok {
+			return
+		}
+		for _, c := range n.Children {
+			visit(c)
+		}
+		index[n] = len(order)
+		order = append(order, n)
+	}
+	visit(root)
+
+	var b bytes.Buffer
+	b.WriteString(moduleMagic)
+	writeU32(&b, uint32(len(order)))
+	for _, n := range order {
+		b.WriteByte(byte(n.Op))
+		writeString(&b, n.Rel)
+		writeString(&b, n.Attr)
+		writeString(&b, n.SelAttr)
+		writeString(&b, n.Var)
+		writeString(&b, n.LeftAttr)
+		writeString(&b, n.RightAttr)
+		writeF64(&b, n.EdgeSel)
+		writeF64(&b, n.FixedSel)
+		writeU32(&b, uint32(n.BaseCard))
+		writeU32(&b, uint32(n.RowBytes))
+		writeU32(&b, uint32(len(n.Children)))
+		for _, c := range n.Children {
+			ci, ok := index[c]
+			if !ok || ci >= index[n] {
+				return nil, fmt.Errorf("plan: topological order violated")
+			}
+			writeU32(&b, uint32(ci))
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// decode reverses encode.
+func decode(raw []byte) (*physical.Node, error) {
+	r := bytes.NewReader(raw)
+	magic := make([]byte, len(moduleMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != moduleMagic {
+		return nil, fmt.Errorf("plan: bad access-module header")
+	}
+	count, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("plan: empty access module")
+	}
+	// A serialized node occupies at least 53 bytes (operator byte, six
+	// string lengths, two float64s, three uint32s); a count exceeding
+	// what the remaining bytes could hold is a forged or corrupt header,
+	// and allocating for it blindly would be a denial-of-service vector.
+	const minNodeBytes = 53
+	if int64(count) > int64(r.Len()/minNodeBytes)+1 {
+		return nil, fmt.Errorf("plan: node count %d exceeds module size", count)
+	}
+	nodes := make([]*physical.Node, 0, count)
+	for i := uint32(0); i < count; i++ {
+		n := &physical.Node{}
+		op, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("plan: truncated module: %w", err)
+		}
+		n.Op = physical.Op(op)
+		if n.Rel, err = readString(r); err != nil {
+			return nil, err
+		}
+		if n.Attr, err = readString(r); err != nil {
+			return nil, err
+		}
+		if n.SelAttr, err = readString(r); err != nil {
+			return nil, err
+		}
+		if n.Var, err = readString(r); err != nil {
+			return nil, err
+		}
+		if n.LeftAttr, err = readString(r); err != nil {
+			return nil, err
+		}
+		if n.RightAttr, err = readString(r); err != nil {
+			return nil, err
+		}
+		if n.EdgeSel, err = readF64(r); err != nil {
+			return nil, err
+		}
+		if n.FixedSel, err = readF64(r); err != nil {
+			return nil, err
+		}
+		bc, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		n.BaseCard = int(bc)
+		rb, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		n.RowBytes = int(rb)
+		nc, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < nc; j++ {
+			ci, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			if int(ci) >= len(nodes) {
+				return nil, fmt.Errorf("plan: child index %d out of range", ci)
+			}
+			n.Children = append(n.Children, nodes[ci])
+		}
+		nodes = append(nodes, n)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("plan: %d trailing bytes in access module", r.Len())
+	}
+	return nodes[len(nodes)-1], nil
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.Write(buf[:])
+}
+
+func readU32(r *bytes.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("plan: truncated module: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func writeF64(b *bytes.Buffer, v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	b.Write(buf[:])
+}
+
+func readF64(r *bytes.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("plan: truncated module: %w", err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func writeString(b *bytes.Buffer, s string) {
+	writeU32(b, uint32(len(s)))
+	b.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if int(n) > r.Len() {
+		return "", fmt.Errorf("plan: string length %d exceeds remaining bytes", n)
+	}
+	buf := make([]byte, n)
+	if n > 0 {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", fmt.Errorf("plan: truncated module: %w", err)
+		}
+	}
+	return string(buf), nil
+}

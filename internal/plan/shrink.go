@@ -1,0 +1,95 @@
+package plan
+
+import (
+	"fmt"
+
+	"dynplan/internal/physical"
+)
+
+// UsageFraction returns the fraction of the module's nodes that have been
+// part of at least one chosen plan since the module was created.
+func (m *AccessModule) UsageFraction() float64 {
+	if m.nodes == 0 {
+		return 0
+	}
+	used := 0
+	for _, c := range m.usage {
+		if c > 0 {
+			used++
+		}
+	}
+	return float64(used) / float64(m.nodes)
+}
+
+// Shrink implements the self-replacement heuristic of §4: after a number
+// of invocations, the access module replaces itself with one containing
+// only the components that have actually been used. Choose-plan operators
+// lose their never-chosen alternatives; a choose-plan left with a single
+// alternative disappears entirely. The result is a new, smaller module
+// with fresh usage statistics; the receiver is unchanged.
+//
+// As the paper notes, this is a heuristic: a removed alternative might
+// have been chosen under bindings that simply have not occurred yet, so a
+// shrunk plan trades adaptability for start-up speed.
+func (m *AccessModule) Shrink() (*AccessModule, error) {
+	if m.activations == 0 {
+		return nil, fmt.Errorf("plan: cannot shrink before any activation")
+	}
+	rebuilt := make(map[*physical.Node]*physical.Node)
+	var walk func(n *physical.Node) (*physical.Node, error)
+	walk = func(n *physical.Node) (*physical.Node, error) {
+		if r, ok := rebuilt[n]; ok {
+			return r, nil
+		}
+		if n.Op == physical.ChoosePlan {
+			var kept []*physical.Node
+			for _, c := range n.Children {
+				if m.usage[c] > 0 {
+					r, err := walk(c)
+					if err != nil {
+						return nil, err
+					}
+					kept = append(kept, r)
+				}
+			}
+			if len(kept) == 0 {
+				return nil, fmt.Errorf("plan: used choose-plan with no used alternatives")
+			}
+			var r *physical.Node
+			if len(kept) == 1 {
+				r = kept[0]
+			} else {
+				clone := *n
+				clone.Children = kept
+				r = &clone
+			}
+			rebuilt[n] = r
+			return r, nil
+		}
+		children := make([]*physical.Node, len(n.Children))
+		changed := false
+		for i, c := range n.Children {
+			r, err := walk(c)
+			if err != nil {
+				return nil, err
+			}
+			children[i] = r
+			if r != c {
+				changed = true
+			}
+		}
+		r := n
+		if changed {
+			clone := *n
+			clone.Children = children
+			r = &clone
+		}
+		rebuilt[n] = r
+		return r, nil
+	}
+	root, err := walk(m.root)
+	if err != nil {
+		return nil, err
+	}
+	return NewModule(root)
+}

@@ -1,0 +1,403 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/physical"
+)
+
+// StartupOptions configures plan activation.
+type StartupOptions struct {
+	// Params are the cost-model constants; zero value means defaults.
+	Params physical.Params
+	// BranchAndBound enables bound-based abortion of alternative cost
+	// evaluations at start-up-time, the optimization §4 proposes ("if the
+	// cost computation exceeds the bound, cost calculation can be
+	// aborted") but the paper's prototype omitted. It never changes the
+	// chosen plan, only the number of cost-function evaluations.
+	BranchAndBound bool
+	// IndexExists, when non-nil, validates the plan against the current
+	// catalog (the System R revalidation of [CAK81], which the paper's
+	// activation step includes: "I/O operations to verify that the plan
+	// is still feasible"). Alternatives requiring an index that no
+	// longer exists are infeasible; a choose-plan falls back to its
+	// feasible alternatives, and activation fails with ErrInfeasible
+	// only when no complete feasible plan remains — the case that forces
+	// a static plan into re-optimization but that dynamic plans often
+	// survive.
+	IndexExists func(rel, attr string) bool
+}
+
+// ErrInfeasible reports that no feasible plan remains in the access
+// module under the current catalog; the query must be re-optimized.
+var ErrInfeasible = errors.New("plan: no feasible alternative remains; re-optimization required")
+
+// StartupReport describes one activation of an access module: the plan
+// chosen for the supplied bindings and the decomposed start-up expense
+// (the paper's time f: module I/O plus choose-plan decision CPU).
+type StartupReport struct {
+	// Chosen is the fully resolved static plan for these bindings; it
+	// contains no choose-plan operators.
+	Chosen *physical.Node
+	// ChosenCost is the predicted execution cost of the chosen plan under
+	// the bindings, the quantity Figure 4 and Figure 8 aggregate (the
+	// paper's execution times are "those predicted by the optimizer",
+	// §6 footnote 4).
+	ChosenCost float64
+	// Decisions is the number of choose-plan operators resolved.
+	Decisions int
+	// NodesEvaluated is the number of distinct plan nodes whose cost
+	// functions were evaluated; with branch-and-bound it can be smaller
+	// than the module's node count.
+	NodesEvaluated int
+	// SimCPUSeconds is the simulated start-up CPU time:
+	// NodesEvaluated × Params.StartupNodeTime (the paper measured ≈0.4 ms
+	// per node on its hardware; Figure 7).
+	SimCPUSeconds float64
+	// SimIOSeconds is the simulated module-read plus activation I/O time.
+	SimIOSeconds float64
+	// MeasuredCPU is the real CPU time this activation took on the host.
+	MeasuredCPU time.Duration
+}
+
+// TotalStartupSeconds returns the simulated start-up time f = I/O + CPU.
+func (r *StartupReport) TotalStartupSeconds() float64 {
+	return r.SimIOSeconds + r.SimCPUSeconds
+}
+
+// Activate performs start-up-time processing: it instantiates the
+// bindings, evaluates the cost functions over the plan DAG (each shared
+// subplan once), resolves every choose-plan operator to its cheapest
+// alternative, and returns the chosen static plan with the start-up
+// expense breakdown. The module's usage statistics are updated for the
+// shrinking heuristic.
+func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*StartupReport, error) {
+	if opt.Params == (physical.Params{}) {
+		opt.Params = physical.DefaultParams()
+	}
+	env := b.Env()
+	if missing := missingVars(m.root, b); len(missing) > 0 {
+		return nil, fmt.Errorf("plan: unbound host variables at start-up: %v", missing)
+	}
+
+	began := time.Now()
+	model := physical.NewModel(opt.Params)
+
+	root := m.root
+	if opt.IndexExists != nil {
+		pruned, err := pruneInfeasible(root, opt.IndexExists)
+		if err != nil {
+			return nil, err
+		}
+		root = pruned
+	}
+
+	var nodesEvaluated int
+	var chooser func(n *physical.Node) (*physical.Node, float64)
+	if opt.BranchAndBound {
+		ev := newBBEvaluator(model, env)
+		if _, ok := ev.eval(root, math.Inf(1)); !ok {
+			return nil, fmt.Errorf("plan: start-up evaluation failed")
+		}
+		nodesEvaluated = ev.evaluated
+		chooser = ev.choose
+	} else {
+		sess := model.NewSession(env)
+		sess.Evaluate(root)
+		nodesEvaluated = sess.EvaluatedNodes()
+		chooser = func(n *physical.Node) (*physical.Node, float64) {
+			best := n.Children[0]
+			bestCost := sess.Evaluate(best).Cost.Lo
+			for _, c := range n.Children[1:] {
+				if cc := sess.Evaluate(c).Cost.Lo; cc < bestCost {
+					best, bestCost = c, cc
+				}
+			}
+			return best, bestCost
+		}
+	}
+
+	resolved, used, decisions := resolve(root, chooser)
+	chosenCost := model.Evaluate(resolved, env).Cost.Lo
+
+	m.activations++
+	// Usage statistics drive the shrinking heuristic and are keyed by the
+	// module's own DAG nodes; when feasibility validation rebuilt parts of
+	// the DAG, only the surviving original nodes are counted.
+	if root == m.root {
+		for n := range used {
+			m.usage[n]++
+		}
+	} else {
+		originals := make(map[*physical.Node]bool)
+		m.root.Walk(func(n *physical.Node) { originals[n] = true })
+		for n := range used {
+			if originals[n] {
+				m.usage[n]++
+			}
+		}
+	}
+
+	return &StartupReport{
+		Chosen:         resolved,
+		ChosenCost:     chosenCost,
+		Decisions:      decisions,
+		NodesEvaluated: nodesEvaluated,
+		SimCPUSeconds:  float64(nodesEvaluated) * opt.Params.StartupNodeTime,
+		SimIOSeconds:   m.ReadTime(opt.Params),
+		MeasuredCPU:    time.Since(began),
+	}, nil
+}
+
+// resolve walks the DAG and replaces every choose-plan with the
+// alternative the chooser selects, producing a tree (a chosen plan uses
+// each shared subplan at most once, since join operands cover disjoint
+// relation sets). It returns the resolved root, the set of original DAG
+// nodes the chosen plan uses, and the number of decisions made.
+func resolve(root *physical.Node, choose func(*physical.Node) (*physical.Node, float64)) (*physical.Node, map[*physical.Node]bool, int) {
+	used := make(map[*physical.Node]bool)
+	decisions := 0
+	var walk func(n *physical.Node) *physical.Node
+	walk = func(n *physical.Node) *physical.Node {
+		used[n] = true
+		if n.Op == physical.ChoosePlan {
+			decisions++
+			best, _ := choose(n)
+			return walk(best)
+		}
+		changed := false
+		children := make([]*physical.Node, len(n.Children))
+		for i, c := range n.Children {
+			children[i] = walk(c)
+			if children[i] != c {
+				changed = true
+			}
+		}
+		if !changed {
+			return n
+		}
+		clone := *n
+		clone.Children = children
+		return &clone
+	}
+	r := walk(root)
+	return r, used, decisions
+}
+
+// missingVars returns host variables the plan references that the
+// bindings do not supply.
+func missingVars(root *physical.Node, b *bindings.Bindings) []string {
+	var missing []string
+	for _, v := range root.Variables() {
+		if _, ok := b.Sel[v]; !ok {
+			missing = append(missing, v)
+		}
+	}
+	return missing
+}
+
+// bbEvaluator evaluates plan costs with branch-and-bound: when an
+// alternative's accumulated cost exceeds the best alternative seen so far,
+// its evaluation is aborted. Complete evaluations are memoized so shared
+// subplans still cost one evaluation.
+type bbEvaluator struct {
+	model     *physical.Model
+	env       *bindings.Env
+	memo      map[*physical.Node]physical.Result
+	evaluated int
+	// failed records, per aborted node, the largest budget it has failed
+	// under: a node that exceeded budget B exceeds every budget ≤ B, so
+	// shared subplans are not re-descended for hopeless budgets.
+	failed map[*physical.Node]float64
+}
+
+func newBBEvaluator(model *physical.Model, env *bindings.Env) *bbEvaluator {
+	return &bbEvaluator{
+		model:  model,
+		env:    env,
+		memo:   make(map[*physical.Node]physical.Result),
+		failed: make(map[*physical.Node]float64),
+	}
+}
+
+// eval returns the node's evaluation result, or ok=false if its cost
+// provably exceeds the budget (in which case the result is meaningless).
+func (e *bbEvaluator) eval(n *physical.Node, budget float64) (physical.Result, bool) {
+	if r, ok := e.memo[n]; ok {
+		return r, r.Cost.Lo <= budget
+	}
+	if fb, ok := e.failed[n]; ok && budget <= fb {
+		return physical.Result{}, false
+	}
+	if n.Op == physical.ChoosePlan {
+		bestRes, ok := e.eval(n.Children[0], budget)
+		for _, c := range n.Children[1:] {
+			limit := budget
+			if ok && bestRes.Cost.Lo < limit {
+				limit = bestRes.Cost.Lo
+			}
+			if r, rok := e.eval(c, limit); rok && (!ok || r.Cost.Lo < bestRes.Cost.Lo) {
+				bestRes, ok = r, true
+			}
+		}
+		if !ok {
+			e.fail(n, budget)
+			return physical.Result{}, false
+		}
+		res := physical.Result{
+			Card: bestRes.Card,
+			Cost: bestRes.Cost.AddScalar(e.model.P.ChooseOverhead),
+		}
+		e.memo[n] = res
+		e.evaluated++
+		return res, res.Cost.Lo <= budget
+	}
+
+	remaining := budget
+	for _, c := range n.Children {
+		r, ok := e.eval(c, remaining)
+		if !ok {
+			e.fail(n, budget)
+			return physical.Result{}, false
+		}
+		remaining -= r.Cost.Lo
+	}
+	// All children fit; evaluate the node itself through the model (the
+	// session memoizes children it has already seen via our memo reuse).
+	res := e.full(n)
+	e.memo[n] = res
+	e.evaluated++
+	return res, res.Cost.Lo <= budget
+}
+
+// fail records an aborted evaluation so shared subplans are not
+// re-descended under budgets that cannot succeed.
+func (e *bbEvaluator) fail(n *physical.Node, budget float64) {
+	if fb, ok := e.failed[n]; !ok || budget > fb {
+		e.failed[n] = budget
+	}
+}
+
+// full evaluates a node from its memoized children (eval's traversal order
+// guarantees they are present).
+func (e *bbEvaluator) full(n *physical.Node) physical.Result {
+	kids := make([]physical.Result, len(n.Children))
+	for i, c := range n.Children {
+		kids[i] = e.memo[c]
+	}
+	return e.model.EvaluateNode(n, e.env, kids)
+}
+
+// choose selects the cheapest alternative of a choose-plan node using the
+// memoized evaluations; alternatives that were aborted are treated as
+// infinitely expensive (they cannot be cheapest).
+func (e *bbEvaluator) choose(n *physical.Node) (*physical.Node, float64) {
+	best := (*physical.Node)(nil)
+	bestCost := math.Inf(1)
+	for _, c := range n.Children {
+		if r, ok := e.memo[c]; ok && r.Cost.Lo < bestCost {
+			best, bestCost = c, r.Cost.Lo
+		}
+	}
+	if best == nil {
+		// Should not happen: at least one alternative completes.
+		best = n.Children[0]
+	}
+	return best, bestCost
+}
+
+// pruneInfeasible rebuilds the plan DAG without alternatives that require
+// access structures the catalog no longer provides. Choose-plan operators
+// keep their feasible alternatives (collapsing when one remains); any
+// other operator with an infeasible input is itself infeasible. It
+// returns ErrInfeasible when nothing survives.
+func pruneInfeasible(root *physical.Node, exists func(rel, attr string) bool) (*physical.Node, error) {
+	type entry struct {
+		node *physical.Node // nil = infeasible
+	}
+	memo := make(map[*physical.Node]entry)
+	var walk func(n *physical.Node) *physical.Node
+	walk = func(n *physical.Node) *physical.Node {
+		if e, ok := memo[n]; ok {
+			return e.node
+		}
+		var result *physical.Node
+		switch n.Op {
+		case physical.BtreeScan, physical.FilterBtreeScan:
+			if exists(n.Rel, n.Attr) {
+				result = n
+			}
+		case physical.IndexJoin:
+			if exists(n.Rel, n.Attr) {
+				if outer := walk(n.Children[0]); outer != nil {
+					result = n
+					if outer != n.Children[0] {
+						clone := *n
+						clone.Children = []*physical.Node{outer}
+						result = &clone
+					}
+				}
+			}
+		case physical.ChoosePlan:
+			var kept []*physical.Node
+			for _, c := range n.Children {
+				if r := walk(c); r != nil {
+					kept = append(kept, r)
+				}
+			}
+			switch {
+			case len(kept) == 0:
+				// infeasible
+			case len(kept) == 1:
+				result = kept[0]
+			case len(kept) == len(n.Children) && sameNodes(kept, n.Children):
+				result = n
+			default:
+				clone := *n
+				clone.Children = kept
+				result = &clone
+			}
+		default:
+			children := make([]*physical.Node, len(n.Children))
+			changed := false
+			ok := true
+			for i, c := range n.Children {
+				r := walk(c)
+				if r == nil {
+					ok = false
+					break
+				}
+				children[i] = r
+				changed = changed || r != c
+			}
+			if ok {
+				result = n
+				if changed {
+					clone := *n
+					clone.Children = children
+					result = &clone
+				}
+			}
+		}
+		memo[n] = entry{node: result}
+		return result
+	}
+	pruned := walk(root)
+	if pruned == nil {
+		return nil, ErrInfeasible
+	}
+	return pruned, nil
+}
+
+func sameNodes(a, b []*physical.Node) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

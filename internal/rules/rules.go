@@ -1,0 +1,249 @@
+// Package rules generates the candidate implementations of an optimization
+// goal: the combined effect of the prototype's transformation rules (join
+// commutativity and associativity, generating all bushy trees, §5) and its
+// implementation rules (Table 1: Get-Set → File-Scan | B-tree-Scan,
+// Select → Filter | Filter-B-tree-Scan, Join → Hash-Join | Merge-Join |
+// Index-Join) plus the Sort enforcer for the sort-order property.
+//
+// In a memoizing search, applying join commutativity and associativity
+// exhaustively is equivalent to enumerating, for each connected relation
+// set, every partition into two connected subsets (each ordered pair once,
+// which realizes commutativity). Cross products are not enumerated, the
+// standard restriction. The choose-plan enforcer is not generated here: it
+// is inserted by the search engine whenever a goal retains more than one
+// incomparable candidate.
+package rules
+
+import (
+	"fmt"
+
+	"dynplan/internal/logical"
+	"dynplan/internal/memo"
+	"dynplan/internal/physical"
+)
+
+// Candidate describes one way to implement a goal before its inputs have
+// been optimized. Inputs lists the child goals in the order the search
+// engine should optimize them (enabling branch-and-bound between the
+// first and second input, §3); Build assembles the plan node once the
+// child plans are known.
+type Candidate struct {
+	// Desc is a short human-readable tag for statistics and debugging.
+	Desc string
+	// Inputs are the child optimization goals in optimization order.
+	Inputs []memo.Goal
+	// Build constructs the operator (sub)tree on top of the child plans.
+	Build func(children []*physical.Node) *physical.Node
+}
+
+// Enumerate returns the candidates for goal (set, prop) over query q.
+// The caller must have validated the query.
+func Enumerate(q *logical.Query, set logical.RelSet, prop physical.Prop) []Candidate {
+	var cands []Candidate
+	if set.IsSingleton() {
+		cands = accessPaths(q, set.Single(), prop)
+	} else {
+		cands = joins(q, set, prop)
+	}
+	if prop.Order != "" {
+		cands = append(cands, sortEnforcer(q, set, prop))
+	}
+	return cands
+}
+
+// accessPaths implements Get-Set and Select (Figure 1 of the paper): a
+// file scan with a filter, a full B-tree scan with a filter (delivering
+// the index order), and a filtered B-tree scan fetching only qualifying
+// records.
+func accessPaths(q *logical.Query, i int, prop physical.Prop) []Candidate {
+	rel := q.Rels[i].Rel
+	pred := q.Rels[i].Pred
+	var cands []Candidate
+
+	addScan := func(desc string, scan *physical.Node, filtered bool) {
+		n := scan
+		if filtered && pred != nil {
+			n = filterNode(pred, scan)
+		}
+		if !n.Delivered().Satisfies(prop) {
+			return
+		}
+		cands = append(cands, Candidate{
+			Desc:  desc,
+			Build: func([]*physical.Node) *physical.Node { return n },
+		})
+	}
+
+	addScan("file-scan "+rel.Name, &physical.Node{
+		Op:       physical.FileScan,
+		Rel:      rel.Name,
+		BaseCard: rel.Cardinality,
+		RowBytes: rel.RecordBytes,
+	}, true)
+
+	for _, attr := range rel.IndexedAttrs() {
+		qual := attr.QualifiedName()
+		onPred := pred != nil && pred.Attr == attr
+		// A full B-tree scan is worth considering when it delivers a
+		// requested order or when it is an alternative way to evaluate
+		// the predicate (the third physical expression of query 1, §6).
+		if prop.Order == qual || onPred {
+			addScan("b-tree-scan "+qual, &physical.Node{
+				Op:       physical.BtreeScan,
+				Rel:      rel.Name,
+				Attr:     attr.Name,
+				BaseCard: rel.Cardinality,
+				RowBytes: rel.RecordBytes,
+			}, true)
+		}
+		if onPred {
+			addScan("filter-b-tree-scan "+qual, &physical.Node{
+				Op:       physical.FilterBtreeScan,
+				Rel:      rel.Name,
+				Attr:     attr.Name,
+				SelAttr:  qual,
+				Var:      pred.Variable,
+				FixedSel: pred.FixedSel,
+				BaseCard: rel.Cardinality,
+				RowBytes: rel.RecordBytes,
+			}, false)
+		}
+	}
+	return cands
+}
+
+func filterNode(pred *logical.SelPred, child *physical.Node) *physical.Node {
+	return &physical.Node{
+		Op:       physical.Filter,
+		SelAttr:  pred.Attr.QualifiedName(),
+		Var:      pred.Variable,
+		FixedSel: pred.FixedSel,
+		RowBytes: child.RowBytes,
+		Children: []*physical.Node{child},
+	}
+}
+
+// joins enumerates every ordered partition of set into two connected
+// subsets and every applicable join algorithm.
+func joins(q *logical.Query, set logical.RelSet, prop physical.Prop) []Candidate {
+	var cands []Candidate
+	width := q.RowBytes(set)
+
+	for l := (set - 1) & set; l != 0; l = (l - 1) & set {
+		r := set &^ l
+		if r == 0 || !q.Connected(l) || !q.Connected(r) {
+			continue
+		}
+		edges := q.CrossingEdges(l, r)
+		if len(edges) == 0 {
+			continue
+		}
+		e := edges[0]
+		edgeSel := 1.0
+		for _, ce := range edges {
+			edgeSel *= ce.Selectivity()
+		}
+		// Orient the join attributes: leftAttr belongs to side l.
+		leftAttr, rightAttr := e.LeftAttr, e.RightAttr
+		if l.Has(e.Right) {
+			leftAttr, rightAttr = rightAttr, leftAttr
+		}
+		lq, rq := leftAttr.QualifiedName(), rightAttr.QualifiedName()
+		l, r := l, r // capture per iteration
+
+		// Hash-Join: builds on the left input, no order requirements, no
+		// order delivered.
+		if prop.Order == "" {
+			cands = append(cands, Candidate{
+				Desc:   fmt.Sprintf("hash-join %s=%s", lq, rq),
+				Inputs: []memo.Goal{{Set: l}, {Set: r}},
+				Build: func(ch []*physical.Node) *physical.Node {
+					return &physical.Node{
+						Op:        physical.HashJoin,
+						LeftAttr:  lq,
+						RightAttr: rq,
+						EdgeSel:   edgeSel,
+						RowBytes:  width,
+						Children:  []*physical.Node{ch[0], ch[1]},
+					}
+				},
+			})
+		}
+
+		// Merge-Join: requires both inputs sorted on the join attributes,
+		// delivers the left attribute's order.
+		if prop.Order == "" || prop.Order == lq {
+			cands = append(cands, Candidate{
+				Desc: fmt.Sprintf("merge-join %s=%s", lq, rq),
+				Inputs: []memo.Goal{
+					{Set: l, Prop: physical.Prop{Order: lq}},
+					{Set: r, Prop: physical.Prop{Order: rq}},
+				},
+				Build: func(ch []*physical.Node) *physical.Node {
+					return &physical.Node{
+						Op:        physical.MergeJoin,
+						LeftAttr:  lq,
+						RightAttr: rq,
+						EdgeSel:   edgeSel,
+						RowBytes:  width,
+						Children:  []*physical.Node{ch[0], ch[1]},
+					}
+				},
+			})
+		}
+
+		// Index-Join: inner input must be a single base relation with a
+		// B-tree on its join attribute; the inner selection (if any)
+		// becomes a residual predicate applied after each fetch.
+		if prop.Order == "" && r.IsSingleton() && rightAttr.BTree {
+			inner := q.Rels[r.Single()]
+			var selAttr, v string
+			var fixed float64
+			if inner.Pred != nil {
+				selAttr = inner.Pred.Attr.QualifiedName()
+				v = inner.Pred.Variable
+				fixed = inner.Pred.FixedSel
+			}
+			rightAttrName := rightAttr.Name
+			cands = append(cands, Candidate{
+				Desc:   fmt.Sprintf("index-join %s=%s", lq, rq),
+				Inputs: []memo.Goal{{Set: l}},
+				Build: func(ch []*physical.Node) *physical.Node {
+					return &physical.Node{
+						Op:        physical.IndexJoin,
+						Rel:       inner.Rel.Name,
+						Attr:      rightAttrName,
+						SelAttr:   selAttr,
+						Var:       v,
+						FixedSel:  fixed,
+						LeftAttr:  lq,
+						RightAttr: rq,
+						EdgeSel:   edgeSel,
+						BaseCard:  inner.Rel.Cardinality,
+						RowBytes:  width,
+						Children:  []*physical.Node{ch[0]},
+					}
+				},
+			})
+		}
+	}
+	return cands
+}
+
+// sortEnforcer wraps the goal's order-free winner in a Sort.
+func sortEnforcer(q *logical.Query, set logical.RelSet, prop physical.Prop) Candidate {
+	width := q.RowBytes(set)
+	order := prop.Order
+	return Candidate{
+		Desc:   "sort " + order,
+		Inputs: []memo.Goal{{Set: set}},
+		Build: func(ch []*physical.Node) *physical.Node {
+			return &physical.Node{
+				Op:       physical.Sort,
+				Attr:     order,
+				RowBytes: width,
+				Children: []*physical.Node{ch[0]},
+			}
+		},
+	}
+}

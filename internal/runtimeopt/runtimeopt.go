@@ -1,0 +1,75 @@
+// Package runtimeopt packages the three optimization scenarios the paper
+// compares (Figure 3):
+//
+//   - static: traditional compile-time optimization into a single plan,
+//     using point estimates (default selectivity, expected memory);
+//   - dynamic: compile-time optimization into a dynamic plan, with
+//     unbound parameters modeled as intervals;
+//   - run-time: complete re-optimization at every invocation, with the
+//     actual bindings as point estimates.
+//
+// All three run the same search engine; they differ only in the parameter
+// environment (and, for static plans, in equal-cost pruning, which a total
+// order requires).
+package runtimeopt
+
+import (
+	"dynplan/internal/bindings"
+	"dynplan/internal/cost"
+	"dynplan/internal/logical"
+	"dynplan/internal/physical"
+	"dynplan/internal/search"
+)
+
+// StaticEnv returns the traditional compile-time environment: every
+// unbound selectivity replaced by the default point estimate (§6: 0.05)
+// and memory by its expected value (§6: 64 pages).
+func StaticEnv(q *logical.Query, cfg search.Config) *bindings.Env {
+	p := paramsOf(cfg)
+	env := bindings.NewEnv(cost.PointRange(p.ExpectedMemory))
+	for _, v := range q.Variables() {
+		env.Bind(v, cost.PointRange(p.DefaultSelectivity))
+	}
+	return env
+}
+
+// DynamicEnv returns the dynamic-plan compile-time environment: every
+// host variable's selectivity spans [0, 1]; memory is either the expected
+// point or, when memUncertain, the range [MemoryLo, MemoryHi] (§6:
+// [16, 112] pages).
+func DynamicEnv(q *logical.Query, cfg search.Config, memUncertain bool) *bindings.Env {
+	p := paramsOf(cfg)
+	mem := cost.PointRange(p.ExpectedMemory)
+	if memUncertain {
+		mem = cost.NewRange(p.MemoryLo, p.MemoryHi)
+	}
+	env := bindings.NewEnv(mem)
+	for _, v := range q.Variables() {
+		env.Bind(v, cost.NewRange(0, 1))
+	}
+	return env
+}
+
+// OptimizeStatic produces the traditional static plan (the paper's time a).
+func OptimizeStatic(q *logical.Query, cfg search.Config) (*search.Result, error) {
+	return search.Optimize(q, StaticEnv(q, cfg), cfg)
+}
+
+// OptimizeDynamic produces the dynamic plan (the paper's time e).
+func OptimizeDynamic(q *logical.Query, cfg search.Config, memUncertain bool) (*search.Result, error) {
+	return search.Optimize(q, DynamicEnv(q, cfg, memUncertain), cfg)
+}
+
+// OptimizeRuntime re-optimizes the query with the actual bindings, the
+// brute-force remedy (the paper's per-invocation time a followed by dᵢ).
+// The resulting plan is static and optimal for exactly these bindings.
+func OptimizeRuntime(q *logical.Query, b *bindings.Bindings, cfg search.Config) (*search.Result, error) {
+	return search.Optimize(q, b.Env(), cfg)
+}
+
+func paramsOf(cfg search.Config) physical.Params {
+	if cfg.Params == (physical.Params{}) {
+		return physical.DefaultParams()
+	}
+	return cfg.Params
+}

@@ -1,0 +1,117 @@
+package runtimeopt
+
+import (
+	"fmt"
+	"testing"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/catalog"
+	"dynplan/internal/cost"
+	"dynplan/internal/logical"
+	"dynplan/internal/physical"
+	"dynplan/internal/search"
+)
+
+func testQuery(n int) *logical.Query {
+	q := &logical.Query{}
+	for i := 0; i < n; i++ {
+		rel := catalog.NewRelation(fmt.Sprintf("R%d", i+1), 200+100*i, 512,
+			catalog.NewAttribute("a", 150, true),
+			catalog.NewAttribute("jl", 120, true),
+			catalog.NewAttribute("jh", 130, true),
+		)
+		q.Rels = append(q.Rels, logical.QRel{Rel: rel,
+			Pred: &logical.SelPred{Attr: rel.MustAttribute("a"), Variable: fmt.Sprintf("v%d", i+1)}})
+	}
+	for i := 0; i+1 < n; i++ {
+		q.Edges = append(q.Edges, logical.JoinEdge{Left: i, Right: i + 1,
+			LeftAttr:  q.Rels[i].Rel.MustAttribute("jh"),
+			RightAttr: q.Rels[i+1].Rel.MustAttribute("jl")})
+	}
+	return q
+}
+
+func TestStaticEnvUsesDefaults(t *testing.T) {
+	q := testQuery(2)
+	env := StaticEnv(q, search.Config{})
+	p := physical.DefaultParams()
+	if !env.IsPoint() {
+		t.Error("static env must be all points")
+	}
+	if env.Memory != cost.PointRange(p.ExpectedMemory) {
+		t.Errorf("memory = %v", env.Memory)
+	}
+	for _, v := range q.Variables() {
+		if env.Selectivity(v) != cost.PointRange(p.DefaultSelectivity) {
+			t.Errorf("selectivity of %s = %v", v, env.Selectivity(v))
+		}
+	}
+}
+
+func TestDynamicEnvRanges(t *testing.T) {
+	q := testQuery(2)
+	p := physical.DefaultParams()
+	env := DynamicEnv(q, search.Config{}, false)
+	if env.Memory != cost.PointRange(p.ExpectedMemory) {
+		t.Errorf("certain memory = %v", env.Memory)
+	}
+	env = DynamicEnv(q, search.Config{}, true)
+	if env.Memory != cost.NewRange(p.MemoryLo, p.MemoryHi) {
+		t.Errorf("uncertain memory = %v", env.Memory)
+	}
+	for _, v := range q.Variables() {
+		if env.Selectivity(v) != cost.NewRange(0, 1) {
+			t.Errorf("selectivity of %s = %v", v, env.Selectivity(v))
+		}
+	}
+}
+
+func TestCustomParamsRespected(t *testing.T) {
+	q := testQuery(1)
+	p := physical.DefaultParams()
+	p.DefaultSelectivity = 0.25
+	p.ExpectedMemory = 42
+	env := StaticEnv(q, search.Config{Params: p})
+	if env.Selectivity("v1") != cost.PointRange(0.25) || env.Memory != cost.PointRange(42) {
+		t.Errorf("custom params ignored: %v / %v", env.Selectivity("v1"), env.Memory)
+	}
+}
+
+func TestThreeScenarios(t *testing.T) {
+	q := testQuery(3)
+	st, err := OptimizeStatic(q, search.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Plan.CountChoosePlans() != 0 || !st.Cost.IsPoint() {
+		t.Error("static optimization produced a dynamic plan")
+	}
+	dy, err := OptimizeDynamic(q, search.Config{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dy.Plan.CountChoosePlans() == 0 {
+		t.Error("dynamic optimization produced no choose-plans for an uncertain query")
+	}
+	if dy.Cost.IsPoint() {
+		t.Error("dynamic plan cost should be an interval")
+	}
+	b := bindings.NewBindings(64)
+	for _, v := range q.Variables() {
+		b.BindSelectivity(v, 0.4)
+	}
+	rt, err := OptimizeRuntime(q, b, search.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Plan.CountChoosePlans() != 0 || !rt.Cost.IsPoint() {
+		t.Error("run-time optimization produced a dynamic plan")
+	}
+	// Run-time optimization with the true bindings is never worse than
+	// the static plan evaluated at those bindings.
+	model := physical.NewModel(physical.DefaultParams())
+	staticAt := model.Evaluate(st.Plan, b.Env()).Cost.Lo
+	if rt.Cost.Lo > staticAt+1e-9 {
+		t.Errorf("run-time optimal %g worse than static %g", rt.Cost.Lo, staticAt)
+	}
+}

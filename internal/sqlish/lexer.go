@@ -1,0 +1,155 @@
+// Package sqlish parses a small SQL dialect into dynplan queries — the
+// textual front end a downstream user of the optimizer needs, covering
+// exactly the query class the paper's prototype optimizes:
+// select-project-join queries with equi-joins, range selections on host
+// variables or literals, and an optional ORDER BY (the "interesting
+// order" generalization the Volcano optimizer generator supports).
+//
+// Grammar (case-insensitive keywords):
+//
+//	query   := SELECT cols FROM rels [WHERE conj] [ORDER BY column]
+//	cols    := '*' | column (',' column)*
+//	rels    := ident (',' ident)*
+//	conj    := pred (AND pred)*
+//	pred    := column '<=' '?'ident      -- unbound host variable
+//	         | column '<=' number        -- literal range predicate
+//	         | column '=' column         -- equi-join
+//	column  := ident '.' ident
+//
+// Example:
+//
+//	SELECT * FROM emp, dept
+//	WHERE emp.salary <= ?limit AND emp.dept = dept.id
+//	ORDER BY dept.id
+package sqlish
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokStar
+	tokComma
+	tokDot
+	tokLE // <=
+	tokEQ // =
+	tokQMark
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokStar:
+		return "'*'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokLE:
+		return "'<='"
+	case tokEQ:
+		return "'='"
+	case tokQMark:
+		return "'?'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits the input into tokens.
+type lexer struct {
+	input string
+	pos   int
+}
+
+// Error is a parse error with the offending position, formatted with a
+// caret pointer for readability.
+type Error struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sqlish: %s at position %d\n", e.Msg, e.Pos)
+	b.WriteString("  " + e.Input + "\n")
+	if e.Pos >= 0 && e.Pos <= len(e.Input) {
+		b.WriteString("  " + strings.Repeat(" ", e.Pos) + "^")
+	}
+	return b.String()
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &Error{Input: l.input, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case c == '?':
+		l.pos++
+		return token{kind: tokQMark, text: "?", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokEQ, text: "=", pos: start}, nil
+	case c == '<':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokLE, text: "<=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '<' (only '<=' is supported)")
+	case isDigit(c):
+		for l.pos < len(l.input) && (isDigit(l.input[l.pos]) || l.input[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.input[start:l.pos], pos: start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

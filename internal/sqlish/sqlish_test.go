@@ -1,0 +1,143 @@
+package sqlish
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStar(t *testing.T) {
+	st, err := Parse("SELECT * FROM emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Columns) != 0 {
+		t.Errorf("star query has projection %v", st.Columns)
+	}
+	if len(st.Relations) != 1 || st.Relations[0] != "emp" {
+		t.Errorf("relations = %v", st.Relations)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	st, err := Parse(`select emp.name, dept.id
+		from emp, dept
+		where emp.salary <= ?limit and emp.dept = dept.id and dept.size <= 40
+		order by dept.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Columns) != 2 || st.Columns[0].String() != "emp.name" || st.Columns[1].String() != "dept.id" {
+		t.Errorf("columns = %v", st.Columns)
+	}
+	if len(st.Relations) != 2 {
+		t.Errorf("relations = %v", st.Relations)
+	}
+	if len(st.Selections) != 2 {
+		t.Fatalf("selections = %v", st.Selections)
+	}
+	if st.Selections[0].Variable != "limit" || st.Selections[0].Col.String() != "emp.salary" {
+		t.Errorf("variable selection = %+v", st.Selections[0])
+	}
+	if st.Selections[1].Variable != "" || st.Selections[1].Literal != 40 {
+		t.Errorf("literal selection = %+v", st.Selections[1])
+	}
+	if len(st.Joins) != 1 || st.Joins[0].Left.String() != "emp.dept" || st.Joins[0].Right.String() != "dept.id" {
+		t.Errorf("joins = %v", st.Joins)
+	}
+	if st.OrderBy == nil || st.OrderBy.String() != "dept.id" {
+		t.Errorf("order by = %v", st.OrderBy)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	if _, err := Parse("SeLeCt * FrOm r WhErE r.a <= ?v OrDeR bY r.a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatLiteral(t *testing.T) {
+	st, err := Parse("select * from r where r.a <= 12.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Selections[0].Literal != 12.5 {
+		t.Errorf("literal = %g", st.Selections[0].Literal)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		query string
+		want  string
+	}{
+		{"", "expected SELECT"},
+		{"select", "expected column reference"},
+		{"select * from", "expected relation name"},
+		{"select * from r where", "expected column reference"},
+		{"select * from r where r.a", "expected '<=' or '='"},
+		{"select * from r where r.a <= ", "expected '?variable' or a number"},
+		{"select * from r where r.a <= ?", "expected host-variable name"},
+		{"select * from r where r.a < 5", "only '<=' is supported"},
+		{"select * from r where r.a = 5", "expected column reference"},
+		{"select * from r order", "expected BY"},
+		{"select * from r order by", "expected column reference"},
+		{"select * from r extra", "unexpected"},
+		{"select r from r", "expected '.' in qualified column"},
+		// "from" after the dot parses as an attribute name (attributes may
+		// shadow keywords), so the error surfaces at the missing FROM.
+		{"select r. from r", "expected FROM"},
+		{"select * from r where r.a <= ?v @", "unexpected character"},
+		{"select * from select", "expected relation name"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.query)
+		if err == nil {
+			t.Errorf("%q: no error", tc.query)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %q lacks %q", tc.query, err, tc.want)
+		}
+	}
+}
+
+func TestErrorShowsPosition(t *testing.T) {
+	_, err := Parse("select * from r where r.a < 5")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "^") || !strings.Contains(msg, "position 26") {
+		t.Errorf("error lacks caret/position:\n%s", msg)
+	}
+}
+
+func TestMultipleJoinsAndRelations(t *testing.T) {
+	st, err := Parse(`select * from a, b, c
+		where a.x = b.x and b.y = c.y and a.s <= ?v1 and c.s <= ?v3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Relations) != 3 || len(st.Joins) != 2 || len(st.Selections) != 2 {
+		t.Errorf("parsed shape: %d rels, %d joins, %d sels",
+			len(st.Relations), len(st.Joins), len(st.Selections))
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	for _, k := range []tokenKind{tokEOF, tokIdent, tokNumber, tokStar, tokComma, tokDot, tokLE, tokEQ, tokQMark, tokenKind(99)} {
+		if k.String() == "" {
+			t.Errorf("empty string for token kind %d", k)
+		}
+	}
+}
+
+func TestUnderscoreIdentifiers(t *testing.T) {
+	st, err := Parse("select * from line_item where line_item.l_qty <= ?q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Relations[0] != "line_item" || st.Selections[0].Col.Attr != "l_qty" {
+		t.Errorf("underscore identifiers mangled: %+v", st)
+	}
+}

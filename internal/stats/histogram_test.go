@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynplan/internal/storage"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h, err := FromValues(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows() != 0 {
+		t.Errorf("Rows = %d", h.Rows())
+	}
+	if got := h.SelectivityLE(100); got != 0 {
+		t.Errorf("empty selectivity = %g", got)
+	}
+}
+
+func TestBucketCountValidation(t *testing.T) {
+	if _, err := FromValues([]int64{1}, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	tab := storage.NewTable("t", 512)
+	tab.Append(storage.Row{1})
+	if _, err := Build(tab, 0, -1); err == nil {
+		t.Error("negative buckets accepted")
+	}
+	if _, err := Build(tab, 5, 4); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+}
+
+func TestUniformEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 10000)
+	for i := range values {
+		values[i] = int64(rng.Intn(1000))
+	}
+	h, err := FromValues(values, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []float64{100, 250, 500, 900} {
+		want := limit / 1000
+		got := h.SelectivityLE(limit)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("uniform: limit %g -> %g, want ≈%g", limit, got, want)
+		}
+	}
+}
+
+// TestSkewedEstimates: the point of histograms — under heavy skew the
+// estimate tracks the data, where the uniform assumption is far off.
+func TestSkewedEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const domain = 1000
+	values := make([]int64, 20000)
+	for i := range values {
+		u := rng.Float64()
+		values[i] = int64(u * u * u * domain) // selectivity of "v < t" is (t/domain)^(1/3)
+	}
+	h, err := FromValues(values, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []float64{10, 100, 500} {
+		want := math.Cbrt(limit / domain)
+		got := h.SelectivityLE(limit)
+		uniform := limit / domain
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("skewed: limit %g -> %g, want ≈%g", limit, got, want)
+		}
+		if math.Abs(got-want) >= math.Abs(uniform-want) {
+			t.Errorf("limit %g: histogram (%g) no better than uniform (%g) against truth %g",
+				limit, got, uniform, want)
+		}
+	}
+}
+
+// TestEstimateAgainstExactCount is the property test: the histogram
+// estimate is within one bucket depth of the exact count, the equi-depth
+// error bound.
+func TestEstimateAgainstExactCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64, bucketSeed uint8) bool {
+		rng.Seed(seed)
+		n := 100 + rng.Intn(2000)
+		buckets := 4 + int(bucketSeed%29)
+		values := make([]int64, n)
+		for i := range values {
+			// Mixed distribution: uniform + clusters + duplicates.
+			switch rng.Intn(3) {
+			case 0:
+				values[i] = int64(rng.Intn(500))
+			case 1:
+				values[i] = int64(200 + rng.Intn(10))
+			default:
+				values[i] = 42
+			}
+		}
+		h, err := FromValues(values, buckets)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			limit := rng.Float64() * 600
+			exact := 0
+			for _, v := range values {
+				if float64(v) < limit {
+					exact++
+				}
+			}
+			est := h.SelectivityLE(limit) * float64(n)
+			// Equi-depth error bound: at most ~2 bucket depths (duplicates
+			// can straddle bounds).
+			tolerance := 2*float64(n)/float64(buckets) + 2
+			if math.Abs(est-float64(exact)) > tolerance {
+				t.Logf("n=%d buckets=%d limit=%g exact=%d est=%g tol=%g",
+					n, buckets, limit, exact, est, tolerance)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectivityMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	values := make([]int64, 5000)
+	for i := range values {
+		values[i] = int64(rng.Intn(300))
+	}
+	h, err := FromValues(values, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for limit := -10.0; limit <= 320; limit += 1.7 {
+		got := h.SelectivityLE(limit)
+		if got < prev-1e-12 {
+			t.Fatalf("selectivity decreased at limit %g: %g < %g", limit, got, prev)
+		}
+		if got < 0 || got > 1 {
+			t.Fatalf("selectivity %g out of range", got)
+		}
+		prev = got
+	}
+	if h.SelectivityLE(float64(h.Min)) != 0 {
+		t.Error("limit at minimum must select nothing (strict predicate)")
+	}
+	if h.SelectivityLE(float64(h.Max)+1) != 1 {
+		t.Error("limit above maximum must select everything")
+	}
+}
+
+func TestBuildFromTable(t *testing.T) {
+	tab := storage.NewTable("t", 512)
+	for i := 0; i < 1000; i++ {
+		tab.Append(storage.Row{int64(i % 100), int64(i)})
+	}
+	h, err := Build(tab, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows() != 1000 || h.Min != 0 || h.Max != 99 {
+		t.Errorf("histogram = %s", h)
+	}
+	if got := h.SelectivityLE(50); math.Abs(got-0.5) > 0.06 {
+		t.Errorf("SelectivityLE(50) = %g", got)
+	}
+}
+
+func TestAnalyzer(t *testing.T) {
+	tab := storage.NewTable("t", 512)
+	for i := 0; i < 100; i++ {
+		tab.Append(storage.Row{int64(i)})
+	}
+	h, err := Analyzer{}.Analyze(tab, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() == 0 || h.Rows() != 100 {
+		t.Errorf("analyzer histogram = %s", h)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, err := FromValues([]int64{1, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := h.String(); s == "" {
+		t.Error("empty String")
+	}
+}

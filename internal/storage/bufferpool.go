@@ -1,0 +1,121 @@
+package storage
+
+// BufferPool is a small LRU page cache. The paper's cost model charges one
+// random I/O per record fetched through an unclustered B-tree, a worst-case
+// assumption; the execution engine optionally routes fetches through a pool
+// so that the measured I/O of executed plans can be compared against that
+// worst case (cf. the finite-LRU index-scan model of Mackert & Lohman the
+// paper cites). A nil *BufferPool is valid and means "no caching".
+type BufferPool struct {
+	capacity int
+	entries  map[poolKey]*poolNode
+	head     *poolNode // most recently used
+	tail     *poolNode // least recently used
+	hits     int64
+	misses   int64
+}
+
+type poolKey struct {
+	table string
+	page  int32
+}
+
+type poolNode struct {
+	key        poolKey
+	prev, next *poolNode
+}
+
+// NewBufferPool returns a pool that caches up to capacity pages. A
+// capacity of zero or less yields a pool that never hits.
+func NewBufferPool(capacity int) *BufferPool {
+	return &BufferPool{
+		capacity: capacity,
+		entries:  make(map[poolKey]*poolNode),
+	}
+}
+
+// Touch records an access to (table, page) and reports whether it was a
+// cache hit. On a miss the page is admitted, evicting the least recently
+// used page if the pool is full.
+func (p *BufferPool) Touch(table string, page int32) bool {
+	if p == nil || p.capacity <= 0 {
+		if p != nil {
+			p.misses++
+		}
+		return false
+	}
+	k := poolKey{table: table, page: page}
+	if n, ok := p.entries[k]; ok {
+		p.hits++
+		p.moveToFront(n)
+		return true
+	}
+	p.misses++
+	n := &poolNode{key: k}
+	p.entries[k] = n
+	p.pushFront(n)
+	if len(p.entries) > p.capacity {
+		p.evict()
+	}
+	return false
+}
+
+// Hits returns the number of cache hits so far.
+func (p *BufferPool) Hits() int64 { return p.hits }
+
+// Misses returns the number of cache misses so far.
+func (p *BufferPool) Misses() int64 { return p.misses }
+
+// Len returns the number of cached pages.
+func (p *BufferPool) Len() int { return len(p.entries) }
+
+// Reset empties the pool and zeroes the statistics.
+func (p *BufferPool) Reset() {
+	p.entries = make(map[poolKey]*poolNode)
+	p.head, p.tail = nil, nil
+	p.hits, p.misses = 0, 0
+}
+
+func (p *BufferPool) pushFront(n *poolNode) {
+	n.prev = nil
+	n.next = p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+func (p *BufferPool) moveToFront(n *poolNode) {
+	if p.head == n {
+		return
+	}
+	// Unlink.
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if p.tail == n {
+		p.tail = n.prev
+	}
+	p.pushFront(n)
+}
+
+func (p *BufferPool) evict() {
+	victim := p.tail
+	if victim == nil {
+		return
+	}
+	if victim.prev != nil {
+		victim.prev.next = nil
+	}
+	p.tail = victim.prev
+	if p.head == victim {
+		p.head = nil
+	}
+	delete(p.entries, victim.key)
+}

@@ -1,0 +1,213 @@
+// Package storage is the simulated disk underneath the execution engine.
+//
+// The paper's prototype never executed plans against real data (its
+// reported run-times are optimizer predictions, §6 footnote 4); this
+// reproduction goes further and provides a storage substrate that plans can
+// actually run on. Records live in page-shaped containers and every page
+// touched is charged to an Accountant, so executed plans produce I/O counts
+// comparable with the cost model: sequential page reads for scans,
+// random page reads for unclustered index fetches, and page writes for
+// partitioning and run generation.
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// PageBytes mirrors catalog.PageBytes; storage is independent of the
+// catalog package so the execution substrate can be reused on its own.
+const PageBytes = 2048
+
+// Row is one record: a vector of integer attribute values. The experiment
+// schema is purely numeric (uniform integer domains), which is all the
+// paper's cost model reasons about.
+type Row []int64
+
+// Clone returns a copy of the row; iterators reuse buffers, so operators
+// that buffer rows (sorts, hash tables) must clone.
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// Concat returns the concatenation of two rows, the schema of a join
+// result.
+func Concat(a, b Row) Row {
+	c := make(Row, 0, len(a)+len(b))
+	c = append(c, a...)
+	return append(c, b...)
+}
+
+// RID identifies a record by page number and slot within the page, the
+// unit an unclustered index stores.
+type RID struct {
+	Page int32
+	Slot int32
+}
+
+// Accountant tallies the simulated I/O and CPU work of an execution. All
+// counters are atomic so parallel operators could share one accountant.
+type Accountant struct {
+	seqPageReads  atomic.Int64
+	randPageReads atomic.Int64
+	pageWrites    atomic.Int64
+	tuples        atomic.Int64
+}
+
+// ReadSeq charges n sequential page reads.
+func (a *Accountant) ReadSeq(n int64) { a.seqPageReads.Add(n) }
+
+// ReadRand charges n random page reads.
+func (a *Accountant) ReadRand(n int64) { a.randPageReads.Add(n) }
+
+// Write charges n page writes.
+func (a *Accountant) Write(n int64) { a.pageWrites.Add(n) }
+
+// Tuples charges n units of per-tuple CPU work.
+func (a *Accountant) Tuples(n int64) { a.tuples.Add(n) }
+
+// SeqPageReads returns the sequential page reads charged so far.
+func (a *Accountant) SeqPageReads() int64 { return a.seqPageReads.Load() }
+
+// RandPageReads returns the random page reads charged so far.
+func (a *Accountant) RandPageReads() int64 { return a.randPageReads.Load() }
+
+// PageWrites returns the page writes charged so far.
+func (a *Accountant) PageWrites() int64 { return a.pageWrites.Load() }
+
+// TupleOps returns the per-tuple CPU operations charged so far.
+func (a *Accountant) TupleOps() int64 { return a.tuples.Load() }
+
+// Reset zeroes all counters.
+func (a *Accountant) Reset() {
+	a.seqPageReads.Store(0)
+	a.randPageReads.Store(0)
+	a.pageWrites.Store(0)
+	a.tuples.Store(0)
+}
+
+// Seconds converts the tally to simulated wall-clock time given per-unit
+// charges (seconds per sequential page, per random page, per page write,
+// per tuple).
+func (a *Accountant) Seconds(seqPage, randPage, write, tuple float64) float64 {
+	return float64(a.SeqPageReads())*seqPage +
+		float64(a.RandPageReads())*randPage +
+		float64(a.PageWrites())*write +
+		float64(a.TupleOps())*tuple
+}
+
+// String summarizes the tally.
+func (a *Accountant) String() string {
+	return fmt.Sprintf("seq=%d rand=%d write=%d tuples=%d",
+		a.SeqPageReads(), a.RandPageReads(), a.PageWrites(), a.TupleOps())
+}
+
+// Table is a heap file: rows packed into fixed-capacity pages in insertion
+// order.
+type Table struct {
+	name        string
+	rowsPerPage int
+	pages       [][]Row
+	nrows       int
+}
+
+// NewTable creates an empty heap file for records of the given width.
+func NewTable(name string, recordBytes int) *Table {
+	rpp := PageBytes / recordBytes
+	if rpp < 1 {
+		rpp = 1
+	}
+	return &Table{name: name, rowsPerPage: rpp}
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// Append stores a row and returns its RID.
+func (t *Table) Append(r Row) RID {
+	if len(t.pages) == 0 || len(t.pages[len(t.pages)-1]) == t.rowsPerPage {
+		t.pages = append(t.pages, make([]Row, 0, t.rowsPerPage))
+	}
+	p := len(t.pages) - 1
+	t.pages[p] = append(t.pages[p], r)
+	t.nrows++
+	return RID{Page: int32(p), Slot: int32(len(t.pages[p]) - 1)}
+}
+
+// NumRows returns the number of stored rows.
+func (t *Table) NumRows() int { return t.nrows }
+
+// NumPages returns the number of pages in the heap file.
+func (t *Table) NumPages() int { return len(t.pages) }
+
+// RowsPerPage returns the page capacity in rows.
+func (t *Table) RowsPerPage() int { return t.rowsPerPage }
+
+// Get fetches the record at rid without charging I/O; use Fetch for
+// accounted access.
+func (t *Table) Get(rid RID) (Row, error) {
+	if int(rid.Page) >= len(t.pages) || int(rid.Slot) >= len(t.pages[rid.Page]) {
+		return nil, fmt.Errorf("storage: invalid rid %v in table %q", rid, t.name)
+	}
+	return t.pages[rid.Page][rid.Slot], nil
+}
+
+// Fetch retrieves the record at rid, charging one random page read to the
+// accountant (or a buffer-pool hit if a pool is supplied). This models
+// unclustered index access: one I/O per qualifying record, the paper's
+// B-tree-scan cost model.
+func (t *Table) Fetch(rid RID, acc *Accountant, pool *BufferPool) (Row, error) {
+	row, err := t.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	if pool != nil {
+		if !pool.Touch(t.name, rid.Page) {
+			acc.ReadRand(1)
+		}
+	} else {
+		acc.ReadRand(1)
+	}
+	return row, nil
+}
+
+// Scan iterates all rows in storage order, charging one sequential page
+// read per page as it advances. The yield function returns false to stop
+// early (the remaining pages are then not charged).
+func (t *Table) Scan(acc *Accountant, yield func(Row) bool) {
+	for _, page := range t.pages {
+		acc.ReadSeq(1)
+		for _, row := range page {
+			if !yield(row) {
+				return
+			}
+		}
+	}
+}
+
+// Store is a named collection of tables, the simulated database instance.
+type Store struct {
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table, replacing any previous table of the same
+// name (data loads are idempotent in tests).
+func (s *Store) AddTable(t *Table) {
+	s.tables[t.Name()] = t
+}
+
+// Table looks up a table by name.
+func (s *Store) Table(name string) (*Table, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return t, nil
+}

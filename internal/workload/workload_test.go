@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"testing"
+
+	"dynplan/internal/storage"
+)
+
+func TestCatalogFollowsPaperStatistics(t *testing.T) {
+	w := New(123)
+	rels := w.Catalog.Relations()
+	if len(rels) != MaxRelations {
+		t.Fatalf("catalog has %d relations, want %d", len(rels), MaxRelations)
+	}
+	for _, r := range rels {
+		if r.Cardinality < 100 || r.Cardinality > 1000 {
+			t.Errorf("%s cardinality %d outside [100,1000]", r.Name, r.Cardinality)
+		}
+		if r.RecordBytes != 512 {
+			t.Errorf("%s record bytes %d, want 512", r.Name, r.RecordBytes)
+		}
+		for _, a := range r.Attrs {
+			lo := int(0.2 * float64(r.Cardinality))
+			hi := int(1.25*float64(r.Cardinality)) + 1
+			if a.DomainSize < lo-1 || a.DomainSize > hi {
+				t.Errorf("%s.%s domain %d outside [%d,%d]", r.Name, a.Name, a.DomainSize, lo, hi)
+			}
+			if !a.BTree {
+				t.Errorf("%s.%s lacks the B-tree the experiments assume", r.Name, a.Name)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(9), New(9)
+	for i, ra := range a.Catalog.Relations() {
+		rb := b.Catalog.Relations()[i]
+		if ra.Cardinality != rb.Cardinality {
+			t.Fatalf("catalog not deterministic at %s", ra.Name)
+		}
+		for j := range ra.Attrs {
+			if ra.Attrs[j].DomainSize != rb.Attrs[j].DomainSize {
+				t.Fatalf("domains not deterministic at %s", ra.Attrs[j].QualifiedName())
+			}
+		}
+	}
+	c := New(10)
+	same := true
+	for i, ra := range a.Catalog.Relations() {
+		if ra.Cardinality != c.Catalog.Relations()[i].Cardinality {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical catalogs")
+	}
+}
+
+func TestPaperQueries(t *testing.T) {
+	specs := PaperQueries()
+	wantSizes := []int{1, 2, 4, 6, 10}
+	if len(specs) != 5 {
+		t.Fatalf("%d paper queries, want 5", len(specs))
+	}
+	w := New(11)
+	for i, spec := range specs {
+		if spec.Relations != wantSizes[i] {
+			t.Errorf("%s has %d relations, want %d", spec.Name, spec.Relations, wantSizes[i])
+		}
+		q := w.Query(spec.Relations)
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		if got := len(q.Variables()); got != spec.Relations {
+			t.Errorf("%s: %d host variables, want %d", spec.Name, got, spec.Relations)
+		}
+		if got := len(q.Edges); got != spec.Relations-1 {
+			t.Errorf("%s: %d edges, want %d", spec.Name, got, spec.Relations-1)
+		}
+	}
+}
+
+func TestQueryBoundsChecked(t *testing.T) {
+	w := New(1)
+	for _, n := range []int{0, MaxRelations + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Query(%d) did not panic", n)
+				}
+			}()
+			w.Query(n)
+		}()
+	}
+}
+
+func TestVariables(t *testing.T) {
+	vars := Variables(3)
+	if len(vars) != 3 || vars[0] != "v1" || vars[2] != "v3" {
+		t.Errorf("Variables = %v", vars)
+	}
+}
+
+func TestLoadStoreMatchesCatalog(t *testing.T) {
+	w := New(77)
+	store := w.LoadStore()
+	for _, rel := range w.Catalog.Relations() {
+		tab, err := store.Table(rel.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.NumRows() != rel.Cardinality {
+			t.Errorf("%s loaded %d rows, want %d", rel.Name, tab.NumRows(), rel.Cardinality)
+		}
+	}
+}
+
+func TestDataWithinDomains(t *testing.T) {
+	w := New(78)
+	store := w.LoadStore()
+	rel := w.Catalog.MustRelation("R1")
+	tab, err := store.Table("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for p := 0; p < tab.NumPages(); p++ {
+		for s := 0; ; s++ {
+			row, err := tab.Get(ridOf(p, s))
+			if err != nil {
+				break
+			}
+			count++
+			for j, a := range rel.Attrs {
+				if row[j] < 0 || row[j] >= int64(a.DomainSize) {
+					t.Fatalf("value %d outside domain [0,%d) of %s", row[j], a.DomainSize, a.QualifiedName())
+				}
+			}
+		}
+	}
+	if count != rel.Cardinality {
+		t.Errorf("visited %d rows, want %d", count, rel.Cardinality)
+	}
+}
+
+// TestDataSelectivityApproximation: the fraction of rows passing
+// "a < sel·domain" must be close to sel, the link between bindings and
+// actual execution.
+func TestDataSelectivityApproximation(t *testing.T) {
+	w := New(79)
+	store := w.LoadStore()
+	for _, relName := range []string{"R1", "R5", "R10"} {
+		rel := w.Catalog.MustRelation(relName)
+		tab, err := store.Table(relName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aIdx := rel.AttrIndex(SelAttr)
+		dom := float64(rel.MustAttribute(SelAttr).DomainSize)
+		for _, sel := range []float64{0.1, 0.5, 0.9} {
+			limit := sel * dom
+			matched := 0
+			for p := 0; p < tab.NumPages(); p++ {
+				for s := 0; ; s++ {
+					row, err := tab.Get(ridOf(p, s))
+					if err != nil {
+						break
+					}
+					if float64(row[aIdx]) < limit {
+						matched++
+					}
+				}
+			}
+			got := float64(matched) / float64(rel.Cardinality)
+			if got < sel-0.12 || got > sel+0.12 {
+				t.Errorf("%s sel=%g: actual fraction %g", relName, sel, got)
+			}
+		}
+	}
+}
+
+func TestBuildIndexes(t *testing.T) {
+	w := New(80)
+	store := w.LoadStore()
+	idx, err := w.BuildIndexes(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range w.Catalog.Relations() {
+		for _, a := range rel.Attrs {
+			tree, ok := idx[rel.Name][a.Name]
+			if !ok {
+				t.Fatalf("missing index on %s", a.QualifiedName())
+			}
+			if tree.Len() != rel.Cardinality {
+				t.Errorf("index on %s has %d entries, want %d", a.QualifiedName(), tree.Len(), rel.Cardinality)
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Errorf("index on %s: %v", a.QualifiedName(), err)
+			}
+		}
+	}
+}
+
+func ridOf(p, s int) storage.RID {
+	return storage.RID{Page: int32(p), Slot: int32(s)}
+}
+
+func TestStarQuery(t *testing.T) {
+	w := New(5)
+	for _, n := range []int{2, 4, 7} {
+		q := w.StarQuery(n)
+		if err := q.Validate(); err != nil {
+			t.Errorf("star %d: %v", n, err)
+		}
+		if len(q.Edges) != n-1 {
+			t.Errorf("star %d: %d edges", n, len(q.Edges))
+		}
+		for _, e := range q.Edges {
+			if e.Left != 0 {
+				t.Errorf("star %d: edge not anchored at the hub", n)
+			}
+		}
+		// Star shapes admit fewer bushy trees than chains of equal size
+		// (every partition must keep the hub connected).
+		if n >= 4 {
+			star := q.LogicalAlternatives(q.AllRels())
+			chain := w.Query(n).LogicalAlternatives(w.Query(n).AllRels())
+			if star <= 0 || chain <= 0 {
+				t.Fatalf("degenerate alternative counts: star %g chain %g", star, chain)
+			}
+		}
+	}
+	for _, bad := range []int{1, MaxRelations + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("StarQuery(%d) did not panic", bad)
+				}
+			}()
+			w.StarQuery(bad)
+		}()
+	}
+}
+
+func TestActualSelectivityBounds(t *testing.T) {
+	if ActualSelectivity(0, 4) != 0 || ActualSelectivity(1, 4) != 1 {
+		t.Error("boundary selectivities wrong")
+	}
+	if got := ActualSelectivity(0.01, 2); got < 0.09 || got > 0.11 {
+		t.Errorf("ActualSelectivity(0.01, 2) = %g, want 0.1", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-positive skew did not panic")
+			}
+		}()
+		New(1).LoadStoreSkewed(0)
+	}()
+}

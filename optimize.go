@@ -1,0 +1,317 @@
+package dynplan
+
+import (
+	"fmt"
+	"time"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/cost"
+	"dynplan/internal/physical"
+	"dynplan/internal/plan"
+	"dynplan/internal/runtimeopt"
+	"dynplan/internal/search"
+)
+
+// Uncertainty declares which parameters beyond the query's host variables
+// are unknown at compile-time. Host-variable selectivities are always
+// treated as unbound over [0, 1] by OptimizeDynamic.
+type Uncertainty struct {
+	// Memory models available memory as the range [MemoryLo, MemoryHi]
+	// pages instead of the expected point value.
+	Memory bool
+}
+
+// Plan is an optimized query evaluation plan: static (a single operator
+// tree) or dynamic (a DAG with choose-plan operators).
+type Plan struct {
+	sys *System
+	res *search.Result
+}
+
+// OptimizeStatic performs traditional compile-time optimization with
+// point estimates (default selectivity, expected memory), producing a
+// static plan — the paper's baseline.
+func (s *System) OptimizeStatic(q *Query) (*Plan, error) {
+	cfg := s.cfg
+	cfg.FinalOrder = q.orderBy
+	res, err := runtimeopt.OptimizeStatic(q.q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{sys: s, res: res}, nil
+}
+
+// OptimizeDynamic performs dynamic-plan optimization: host-variable
+// selectivities span [0, 1], memory optionally spans its range, and all
+// plans whose cost intervals overlap are retained under choose-plan
+// operators.
+func (s *System) OptimizeDynamic(q *Query, u Uncertainty) (*Plan, error) {
+	cfg := s.cfg
+	cfg.FinalOrder = q.orderBy
+	res, err := runtimeopt.OptimizeDynamic(q.q, cfg, u.Memory)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{sys: s, res: res}, nil
+}
+
+// OptimizeAt re-optimizes the query for one concrete binding set — the
+// run-time-optimization baseline (Figure 3, middle scenario).
+func (s *System) OptimizeAt(q *Query, b Bindings) (*Plan, error) {
+	cfg := s.cfg
+	cfg.FinalOrder = q.orderBy
+	res, err := runtimeopt.OptimizeRuntime(q.q, b.internal(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{sys: s, res: res}, nil
+}
+
+// Cost returns the plan's anticipated cost interval.
+func (p *Plan) Cost() CostInterval { return fromCost(p.res.Cost) }
+
+// NodeCount returns the number of distinct operator nodes in the plan DAG.
+func (p *Plan) NodeCount() int { return p.res.Plan.CountNodes() }
+
+// ChoosePlanCount returns the number of choose-plan operators; zero for a
+// static plan.
+func (p *Plan) ChoosePlanCount() int { return p.res.Plan.CountChoosePlans() }
+
+// Alternatives returns how many complete static plans the plan encodes
+// (1 for a static plan).
+func (p *Plan) Alternatives() float64 { return p.res.Plan.Alternatives() }
+
+// IsDynamic reports whether the plan contains choose-plan operators.
+func (p *Plan) IsDynamic() bool { return p.ChoosePlanCount() > 0 }
+
+// Explain renders the plan as an indented operator tree; shared subplans
+// are printed once and referenced afterwards.
+func (p *Plan) Explain() string { return p.res.Plan.Format() }
+
+// ExplainWithCosts renders the plan with per-operator cardinality and
+// cumulative cost annotations. With nil bindings the compile-time
+// intervals are shown; with bindings, the point estimates of that
+// invocation.
+func (p *Plan) ExplainWithCosts(b *Bindings) string {
+	model := physical.NewModel(p.sys.params)
+	var env *bindings.Env
+	if b != nil {
+		env = b.internal().Env()
+	} else {
+		// Reconstruct the compile-time view: every referenced variable is
+		// maximally uncertain, memory spans the configured range.
+		env = runtimeEnvForPlan(p)
+	}
+	return p.res.Plan.FormatWithCosts(model, env)
+}
+
+// runtimeEnvForPlan builds the maximal-uncertainty environment the plan
+// was (at most) optimized under.
+func runtimeEnvForPlan(p *Plan) *bindings.Env {
+	params := p.sys.params
+	env := bindings.NewEnv(cost.NewRange(params.MemoryLo, params.MemoryHi))
+	for _, v := range p.res.Plan.Variables() {
+		env.Bind(v, cost.NewRange(0, 1))
+	}
+	return env
+}
+
+// Stats returns the search-effort statistics of the optimization.
+func (p *Plan) Stats() search.Stats { return p.res.Stats }
+
+// Root exposes the physical plan DAG (advanced use).
+func (p *Plan) Root() *physical.Node { return p.res.Plan }
+
+// Module serializes the plan into an access module, the on-disk form read
+// at start-up-time.
+func (p *Plan) Module() (*Module, error) {
+	m, err := plan.NewModule(p.res.Plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{sys: p.sys, mod: m}, nil
+}
+
+// Module is a serialized plan plus its usage statistics.
+type Module struct {
+	sys *System
+	mod *plan.AccessModule
+}
+
+// LoadModule deserializes an access module previously obtained from
+// Module.Bytes.
+func (s *System) LoadModule(raw []byte) (*Module, error) {
+	m, err := plan.Load(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{sys: s, mod: m}, nil
+}
+
+// Bytes returns the serialized access module.
+func (m *Module) Bytes() []byte { return m.mod.Bytes() }
+
+// NodeCount returns the number of operator nodes in the module.
+func (m *Module) NodeCount() int { return m.mod.NodeCount() }
+
+// Variables returns the host variables the module's plan references, in
+// sorted order — what an application must bind before Activate.
+func (m *Module) Variables() []string { return m.mod.Root().Variables() }
+
+// UsageFraction returns the fraction of nodes used by at least one
+// activation so far.
+func (m *Module) UsageFraction() float64 { return m.mod.UsageFraction() }
+
+// Shrink applies the self-shrinking heuristic of §4: a new module
+// containing only the components past activations have used.
+func (m *Module) Shrink() (*Module, error) {
+	sm, err := m.mod.Shrink()
+	if err != nil {
+		return nil, err
+	}
+	return &Module{sys: m.sys, mod: sm}, nil
+}
+
+// Bindings carries the run-time parameter values supplied when a query is
+// invoked.
+type Bindings struct {
+	// Selectivities maps each host variable to the selectivity its bound
+	// value implies. Use BindValue-style conversion (value ÷ domain) when
+	// working with literals.
+	Selectivities map[string]float64
+	// MemoryPages is the memory available to this invocation.
+	MemoryPages float64
+}
+
+func (b Bindings) internal() *bindings.Bindings {
+	ib := bindings.NewBindings(b.MemoryPages)
+	for v, s := range b.Selectivities {
+		ib.BindSelectivity(v, s)
+	}
+	return ib
+}
+
+// Activation is the outcome of starting a plan: the chosen alternative
+// and the start-up expense.
+type Activation struct {
+	sys    *System
+	report *plan.StartupReport
+}
+
+// Activate performs start-up-time processing: bindings are instantiated,
+// choose-plan decision procedures run (each shared subplan's cost
+// evaluated once), and the cheapest alternative is selected.
+func (m *Module) Activate(b Bindings) (*Activation, error) {
+	rep, err := m.mod.Activate(b.internal(), plan.StartupOptions{Params: m.sys.params})
+	if err != nil {
+		return nil, err
+	}
+	return &Activation{sys: m.sys, report: rep}, nil
+}
+
+// ErrInfeasible is returned by ActivateValidated when the current catalog
+// no longer supports any complete plan in the module.
+var ErrInfeasible = plan.ErrInfeasible
+
+// ActivateValidated is Activate with catalog validation: alternatives
+// requiring indexes that have been dropped since compile-time are
+// excluded (the plan-infeasibility handling of System R that the paper's
+// activation step includes). A dynamic plan survives index drops as long
+// as a feasible alternative remains — one of the robustness benefits the
+// paper attributes to choose-plan operators — while a static plan whose
+// only access path vanished fails with ErrInfeasible and must be
+// re-optimized.
+func (m *Module) ActivateValidated(b Bindings) (*Activation, error) {
+	rep, err := m.mod.Activate(b.internal(), plan.StartupOptions{
+		Params: m.sys.params,
+		IndexExists: func(rel, attr string) bool {
+			r, err := m.sys.cat.Relation(rel)
+			if err != nil {
+				return false
+			}
+			a, err := r.Attribute(attr)
+			if err != nil {
+				return false
+			}
+			return a.BTree
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Activation{sys: m.sys, report: rep}, nil
+}
+
+// DropIndex removes the B-tree on rel.attr from the catalog, simulating
+// the schema changes ("indexes are created and destroyed", §1) that make
+// compile-time plans infeasible.
+func (s *System) DropIndex(rel, attr string) error {
+	r, err := s.cat.Relation(rel)
+	if err != nil {
+		return err
+	}
+	a, err := r.Attribute(attr)
+	if err != nil {
+		return err
+	}
+	a.BTree = false
+	return nil
+}
+
+// CreateIndex declares a B-tree on rel.attr. Databases opened afterwards
+// (or whose BuildIndexes is re-run) will build it.
+func (s *System) CreateIndex(rel, attr string) error {
+	r, err := s.cat.Relation(rel)
+	if err != nil {
+		return err
+	}
+	a, err := r.Attribute(attr)
+	if err != nil {
+		return err
+	}
+	a.BTree = true
+	return nil
+}
+
+// ActivateWithBranchAndBound is Activate with bound-based abortion of
+// alternative cost evaluations (an extension the paper proposes in §4 but
+// did not implement). The chosen plan is identical; fewer cost functions
+// are evaluated.
+func (m *Module) ActivateWithBranchAndBound(b Bindings) (*Activation, error) {
+	rep, err := m.mod.Activate(b.internal(), plan.StartupOptions{Params: m.sys.params, BranchAndBound: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Activation{sys: m.sys, report: rep}, nil
+}
+
+// Explain renders the chosen plan.
+func (a *Activation) Explain() string { return a.report.Chosen.Format() }
+
+// Chosen exposes the chosen plan tree (advanced use; it contains no
+// choose-plan operators).
+func (a *Activation) Chosen() *physical.Node { return a.report.Chosen }
+
+// PredictedCost returns the cost model's prediction for the chosen plan
+// under the activation's bindings.
+func (a *Activation) PredictedCost() float64 { return a.report.ChosenCost }
+
+// Decisions returns the number of choose-plan operators resolved.
+func (a *Activation) Decisions() int { return a.report.Decisions }
+
+// NodesEvaluated returns how many distinct plan nodes had their cost
+// functions evaluated during start-up.
+func (a *Activation) NodesEvaluated() int { return a.report.NodesEvaluated }
+
+// StartupSeconds returns the simulated start-up expense (module I/O plus
+// decision CPU) under the paper's hardware model.
+func (a *Activation) StartupSeconds() float64 { return a.report.TotalStartupSeconds() }
+
+// MeasuredCPU returns the real time the activation took on this host.
+func (a *Activation) MeasuredCPU() time.Duration { return a.report.MeasuredCPU }
+
+// String summarizes the activation.
+func (a *Activation) String() string {
+	return fmt.Sprintf("activation: %d decisions, %d nodes evaluated, predicted cost %.4gs",
+		a.Decisions(), a.NodesEvaluated(), a.PredictedCost())
+}

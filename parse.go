@@ -1,0 +1,107 @@
+package dynplan
+
+import (
+	"fmt"
+
+	"dynplan/internal/sqlish"
+)
+
+// Parse compiles a SQL-ish statement against the system's catalog:
+//
+//	SELECT * FROM emp, dept
+//	WHERE emp.salary <= ?limit AND emp.dept = dept.id
+//	ORDER BY dept.id
+//
+// Range predicates take a host variable ("?limit", bound at start-up) or
+// a numeric literal (whose selectivity is derived from the attribute's
+// domain). ORDER BY requires the final plan to deliver that sort order
+// (through the Sort enforcer when no access path provides it). The
+// projection list, if not '*', is applied to execution results.
+func (s *System) Parse(query string) (*Query, error) {
+	st, err := sqlish.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+
+	spec := QuerySpec{}
+	relIndex := make(map[string]int)
+	for _, name := range st.Relations {
+		if _, dup := relIndex[name]; dup {
+			return nil, fmt.Errorf("dynplan: relation %q listed twice in FROM (self joins are not supported)", name)
+		}
+		relIndex[name] = len(spec.Relations)
+		spec.Relations = append(spec.Relations, RelSpec{Name: name})
+	}
+
+	checkCol := func(c sqlish.Column) error {
+		i, ok := relIndex[c.Rel]
+		if !ok {
+			return fmt.Errorf("dynplan: column %s references a relation not in FROM", c)
+		}
+		rel, err := s.cat.Relation(spec.Relations[i].Name)
+		if err != nil {
+			return err
+		}
+		if _, err := rel.Attribute(c.Attr); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	for _, sel := range st.Selections {
+		if err := checkCol(sel.Col); err != nil {
+			return nil, err
+		}
+		i := relIndex[sel.Col.Rel]
+		if spec.Relations[i].Pred != nil {
+			return nil, fmt.Errorf("dynplan: relation %q has more than one selection predicate (one per relation, as in the paper's prototype)", sel.Col.Rel)
+		}
+		pred := &Pred{Attr: sel.Col.Attr}
+		if sel.Variable != "" {
+			pred.Variable = sel.Variable
+		} else {
+			rel := s.cat.MustRelation(sel.Col.Rel)
+			attr := rel.MustAttribute(sel.Col.Attr)
+			selectivity := sel.Literal / float64(attr.DomainSize)
+			if selectivity <= 0 {
+				return nil, fmt.Errorf("dynplan: literal predicate %s <= %g selects nothing", sel.Col, sel.Literal)
+			}
+			if selectivity > 1 {
+				selectivity = 1
+			}
+			pred.Selectivity = selectivity
+		}
+		spec.Relations[i].Pred = pred
+	}
+
+	for _, j := range st.Joins {
+		if err := checkCol(j.Left); err != nil {
+			return nil, err
+		}
+		if err := checkCol(j.Right); err != nil {
+			return nil, err
+		}
+		spec.Joins = append(spec.Joins, JoinSpec{
+			LeftRel: j.Left.Rel, LeftAttr: j.Left.Attr,
+			RightRel: j.Right.Rel, RightAttr: j.Right.Attr,
+		})
+	}
+
+	q, err := s.BuildQuery(spec)
+	if err != nil {
+		return nil, err
+	}
+	if st.OrderBy != nil {
+		if err := checkCol(*st.OrderBy); err != nil {
+			return nil, err
+		}
+		q.orderBy = st.OrderBy.String()
+	}
+	for _, c := range st.Columns {
+		if err := checkCol(c); err != nil {
+			return nil, err
+		}
+		q.projection = append(q.projection, c.String())
+	}
+	return q, nil
+}
