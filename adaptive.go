@@ -1,6 +1,7 @@
 package dynplan
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -63,12 +64,23 @@ func (r *AdaptiveResult) SimulatedSeconds(p Params) float64 {
 // The plan must be dynamic (contain choose-plan operators) or at least a
 // valid plan DAG; bindings must cover every host variable.
 func (db *Database) ExecuteAdaptive(p *Plan, b Bindings) (*AdaptiveResult, error) {
+	return db.ExecuteAdaptiveContext(context.Background(), p, b)
+}
+
+// ExecuteAdaptiveContext is ExecuteAdaptive with a context: cancellation
+// and deadline expiry stop both the materializations and the final plan
+// within a bounded number of operator calls. An installed fault injector
+// (InjectFaults) applies to base-table reads; in-memory temporaries are
+// exempt.
+func (db *Database) ExecuteAdaptiveContext(ctx context.Context, p *Plan, b Bindings) (*AdaptiveResult, error) {
 	acc := &storage.Accountant{}
 	e := &exec.DB{
 		Catalog: db.sys.cat,
 		Store:   db.store,
 		Indexes: db.indexes,
 		Acc:     acc,
+		Ctx:     ctx,
+		Faults:  db.faults,
 	}
 	res, err := adaptive.Run(e, p.Root(), b.internal(), adaptive.Options{Params: db.sys.params})
 	if err != nil {

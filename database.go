@@ -1,6 +1,7 @@
 package dynplan
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -19,7 +20,33 @@ type Database struct {
 	indexes    map[string]map[string]*btree.Tree
 	loaded     map[string]bool
 	histograms map[string]map[string]*stats.Histogram
+	faults     *storage.Injector
 }
+
+// FaultConfig parameterizes deterministic fault injection on base-table
+// page reads; see Database.InjectFaults. The zero value injects nothing.
+type FaultConfig = storage.FaultConfig
+
+// FaultStats summarizes what the installed fault injector has done.
+type FaultStats = storage.FaultStats
+
+// InjectFaults installs a deterministic fault injector: base-table page
+// reads fail according to the config (transient or permanent, decided per
+// page by a hash of the seed, so runs are reproducible), failed reads are
+// charged simulated latency, and a memory-shrink event can revoke part of
+// the memory grant mid-query. Injected failures wrap ErrFaultInjected
+// plus ErrTransientIO or ErrPermanentIO. Subsequent Execute* calls run
+// through the injector until ClearFaults.
+func (db *Database) InjectFaults(cfg FaultConfig) {
+	db.faults = storage.NewInjector(cfg)
+}
+
+// ClearFaults removes the fault injector.
+func (db *Database) ClearFaults() { db.faults = nil }
+
+// FaultStats returns a snapshot of the injector's counters; the zero
+// value when no injector is installed.
+func (db *Database) FaultStats() FaultStats { return db.faults.Stats() }
 
 // OpenDatabase creates an empty database for the system's catalog. Load
 // rows with Insert (or GenerateData) and call BuildIndexes before
@@ -109,6 +136,20 @@ type ExecResult struct {
 	// SeqPageReads, RandPageReads, PageWrites and TupleOps are the
 	// accounted work of the execution.
 	SeqPageReads, RandPageReads, PageWrites, TupleOps int64
+
+	// Retries is how many failed attempts preceded this result (always 0
+	// outside ExecuteResilient).
+	Retries int
+	// BranchSwitched reports that a retry resolved the plan's choose-plan
+	// operators to different alternatives than the first attempt.
+	BranchSwitched bool
+	// FaultsAbsorbed counts injected transient faults retried away at the
+	// storage layer without any operator seeing an error.
+	FaultsAbsorbed int64
+	// EffectiveMemoryPages is the memory grant the successful execution
+	// actually ran under; it is smaller than the bindings' grant after a
+	// memory-shrink event forced a downgrade.
+	EffectiveMemoryPages float64
 }
 
 // SimulatedSeconds converts the account to simulated execution time under
@@ -123,23 +164,36 @@ func (r *ExecResult) SimulatedSeconds(p Params) float64 {
 // Execute runs a resolved plan (a static plan, or the Chosen plan of an
 // Activation) under the bindings.
 func (db *Database) Execute(root *physical.Node, b Bindings) (*ExecResult, error) {
+	return db.ExecuteContext(context.Background(), root, b)
+}
+
+// ExecuteContext is Execute with a context: once the context is canceled
+// or its deadline passes, execution stops within a bounded number of
+// operator calls with an error wrapping ErrCanceled or
+// ErrDeadlineExceeded. When a fault injector is installed (InjectFaults),
+// base-table page reads run through it.
+func (db *Database) ExecuteContext(ctx context.Context, root *physical.Node, b Bindings) (*ExecResult, error) {
 	acc := &storage.Accountant{}
 	e := &exec.DB{
 		Catalog: db.sys.cat,
 		Store:   db.store,
 		Indexes: db.indexes,
 		Acc:     acc,
+		Faults:  db.faults,
 	}
-	rows, schema, err := e.Run(root, b.internal())
+	absorbedBefore := db.faults.Stats().Absorbed
+	rows, schema, err := e.RunContext(ctx, root, b.internal())
 	if err != nil {
 		return nil, err
 	}
 	out := &ExecResult{
-		Columns:       schema,
-		SeqPageReads:  acc.SeqPageReads(),
-		RandPageReads: acc.RandPageReads(),
-		PageWrites:    acc.PageWrites(),
-		TupleOps:      acc.TupleOps(),
+		Columns:              schema,
+		SeqPageReads:         acc.SeqPageReads(),
+		RandPageReads:        acc.RandPageReads(),
+		PageWrites:           acc.PageWrites(),
+		TupleOps:             acc.TupleOps(),
+		FaultsAbsorbed:       db.faults.Stats().Absorbed - absorbedBefore,
+		EffectiveMemoryPages: b.MemoryPages * db.faults.MemoryScale(),
 	}
 	out.Rows = make([][]int64, len(rows))
 	for i, r := range rows {
@@ -189,13 +243,23 @@ func (r *ExecResult) Project(cols []string) (*ExecResult, error) {
 
 // ExecutePlan runs a static Plan directly.
 func (db *Database) ExecutePlan(p *Plan, b Bindings) (*ExecResult, error) {
+	return db.ExecutePlanContext(context.Background(), p, b)
+}
+
+// ExecutePlanContext is ExecutePlan with a context.
+func (db *Database) ExecutePlanContext(ctx context.Context, p *Plan, b Bindings) (*ExecResult, error) {
 	if p.IsDynamic() {
 		return nil, fmt.Errorf("dynplan: cannot execute a dynamic plan directly; build its Module and Activate it first")
 	}
-	return db.Execute(p.Root(), b)
+	return db.ExecuteContext(ctx, p.Root(), b)
 }
 
 // ExecuteActivation runs the plan an activation chose.
 func (db *Database) ExecuteActivation(a *Activation, b Bindings) (*ExecResult, error) {
-	return db.Execute(a.Chosen(), b)
+	return db.ExecuteContext(context.Background(), a.Chosen(), b)
+}
+
+// ExecuteActivationContext is ExecuteActivation with a context.
+func (db *Database) ExecuteActivationContext(ctx context.Context, a *Activation, b Bindings) (*ExecResult, error) {
+	return db.ExecuteContext(ctx, a.Chosen(), b)
 }

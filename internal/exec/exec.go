@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,6 +22,7 @@ import (
 	"dynplan/internal/btree"
 	"dynplan/internal/catalog"
 	"dynplan/internal/physical"
+	"dynplan/internal/qerr"
 	"dynplan/internal/storage"
 )
 
@@ -62,20 +64,102 @@ type DB struct {
 	// Temps holds run-time materialized results, keyed by temporary name
 	// (see Temp and the adaptive executor).
 	Temps map[string]*Temp
+
+	// Ctx, when non-nil, is polled periodically inside every operator's
+	// Next loop; once it ends, execution stops within a bounded number of
+	// calls with an error wrapping qerr.ErrCanceled or
+	// qerr.ErrDeadlineExceeded. Set it via RunContext or directly before
+	// Run.
+	Ctx context.Context
+	// Faults, when non-nil, routes base-table page reads through the
+	// fault injector (in-memory temporaries are exempt). Injected
+	// failures carry the qerr taxonomy and the raising operator.
+	Faults *storage.Injector
+	// Wrap, when non-nil, decorates every compiled iterator (outermost);
+	// the leak-checking test wrapper uses it.
+	Wrap func(it Iterator, n *physical.Node) Iterator
+
+	// polls counts cancellation checks so only every pollEvery-th check
+	// actually inspects the context.
+	polls uint64
+}
+
+// pollEvery bounds how many Next calls may pass between two context
+// inspections; cancellation is observed within at most this many calls.
+const pollEvery = 8
+
+// checkCancel polls the context every pollEvery-th call; on expiry it
+// returns an error wrapping qerr.ErrCanceled or qerr.ErrDeadlineExceeded.
+func (db *DB) checkCancel() error {
+	if db.Ctx == nil {
+		return nil
+	}
+	db.polls++
+	if db.polls%pollEvery != 0 {
+		return nil
+	}
+	return qerr.FromContext(db.Ctx.Err())
+}
+
+// pageRead charges one page read (sequential or random) for a base table
+// and routes it through the fault injector, if any.
+func (db *DB) pageRead(table string, page int32, seq bool) error {
+	if seq {
+		db.Acc.ReadSeq(1)
+	} else {
+		db.Acc.ReadRand(1)
+	}
+	return db.Faults.PageRead(table, page, db.Acc)
+}
+
+// fetch retrieves a record by RID with accounting and fault injection.
+func (db *DB) fetch(t *storage.Table, rid storage.RID) (storage.Row, error) {
+	return t.FetchThrough(rid, db.Acc, db.Pool, db.Faults)
+}
+
+// memoryPages returns the run-time memory grant in pages, reduced by the
+// injector's shrink event when one has fired.
+func (db *DB) memoryPages(granted float64) float64 {
+	return granted * db.Faults.MemoryScale()
+}
+
+// RunContext is Run with a context: cancellation and deadline expiry
+// propagate into every operator's Next loop.
+func (db *DB) RunContext(ctx context.Context, root *physical.Node, b *bindings.Bindings) ([]storage.Row, Schema, error) {
+	db.Ctx = ctx
+	return db.Run(root, b)
 }
 
 // Run executes a resolved plan under the bindings and returns all result
 // rows and the output schema. The plan must not contain choose-plan
 // operators; activate the access module first.
-func (db *DB) Run(root *physical.Node, b *bindings.Bindings) ([]storage.Row, Schema, error) {
+//
+// Run is the executor boundary: operator panics are recovered and
+// converted into errors wrapping qerr.ErrOperatorPanic, and every
+// iterator opened is closed even when Open or Next fails mid-pipeline.
+func (db *DB) Run(root *physical.Node, b *bindings.Bindings) (rows []storage.Row, schema Schema, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows, schema = nil, nil
+			err = fmt.Errorf("exec: recovered panic %v: %w", r, qerr.ErrOperatorPanic)
+		}
+	}()
+	if db.Ctx != nil {
+		if cerr := qerr.FromContext(db.Ctx.Err()); cerr != nil {
+			return nil, nil, cerr
+		}
+	}
 	it, schema, err := db.Build(root, b)
 	if err != nil {
 		return nil, nil, err
 	}
+	// Close unconditionally: if Open or Next failed mid-pipeline the
+	// iterator tree may be partially open, and every operator's Close is
+	// idempotent and safe on a partially opened tree.
+	defer it.Close()
 	if err := it.Open(); err != nil {
 		return nil, nil, err
 	}
-	defer it.Close()
 	var out []storage.Row
 	for {
 		row, ok, err := it.Next()
@@ -93,8 +177,23 @@ func (db *DB) Run(root *physical.Node, b *bindings.Bindings) ([]storage.Row, Sch
 	return out, schema, nil
 }
 
-// Build compiles a resolved physical plan into an iterator tree.
+// Build compiles a resolved physical plan into an iterator tree. Each
+// compiled operator is wrapped so that errors it raises name it (see
+// qerr.OpError), and then by the DB's Wrap hook, if any.
 func (db *DB) Build(n *physical.Node, b *bindings.Bindings) (Iterator, Schema, error) {
+	it, schema, err := db.compile(n, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	it = &guardIter{inner: it, op: n.Label()}
+	if db.Wrap != nil {
+		it = db.Wrap(it, n)
+	}
+	return it, schema, nil
+}
+
+// compile dispatches on the operator.
+func (db *DB) compile(n *physical.Node, b *bindings.Bindings) (Iterator, Schema, error) {
 	if db.Acc == nil {
 		db.Acc = &storage.Accountant{}
 	}

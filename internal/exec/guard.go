@@ -1,0 +1,32 @@
+package exec
+
+import (
+	"dynplan/internal/qerr"
+	"dynplan/internal/storage"
+)
+
+// guardIter decorates every compiled operator: any error escaping Open,
+// Next, or Close is wrapped in a qerr.OpError naming the plan node, so a
+// mid-query failure reports the operator that raised it. The innermost
+// (deepest) operator wins — qerr.At never overrides an existing OpError —
+// which is the operator closest to the actual fault.
+type guardIter struct {
+	inner Iterator
+	op    string
+}
+
+func (g *guardIter) Open() error {
+	return qerr.At(g.op, g.inner.Open())
+}
+
+func (g *guardIter) Next() (storage.Row, bool, error) {
+	row, ok, err := g.inner.Next()
+	if err != nil {
+		return nil, false, qerr.At(g.op, err)
+	}
+	return row, ok, nil
+}
+
+func (g *guardIter) Close() error {
+	return qerr.At(g.op, g.inner.Close())
+}

@@ -6,6 +6,7 @@ import (
 
 	"dynplan/internal/bindings"
 	"dynplan/internal/physical"
+	"dynplan/internal/qerr"
 	"dynplan/internal/storage"
 )
 
@@ -50,9 +51,10 @@ type hashJoinIter struct {
 	probeRowBytes int
 	memPages      float64
 
-	table    map[int64][]storage.Row
-	buildLen int
-	probeLen int
+	table       map[int64][]storage.Row
+	buildLen    int
+	probeLen    int
+	buildClosed bool
 	// matches buffers the build rows matching the current probe row.
 	matches  []storage.Row
 	matchPos int
@@ -62,12 +64,16 @@ type hashJoinIter struct {
 }
 
 func (it *hashJoinIter) Open() error {
+	it.buildClosed = false
 	if err := it.build.Open(); err != nil {
 		return err
 	}
 	it.table = make(map[int64][]storage.Row)
 	it.buildLen = 0
 	for {
+		if err := it.db.checkCancel(); err != nil {
+			return err
+		}
 		row, ok, err := it.build.Next()
 		if err != nil {
 			return err
@@ -83,6 +89,17 @@ func (it *hashJoinIter) Open() error {
 	if err := it.build.Close(); err != nil {
 		return err
 	}
+	it.buildClosed = true
+	// A memory-shrink event revokes part of the grant the plan was
+	// promised; a build side that no longer fits cannot proceed (the
+	// simulated-spill accounting below models a build that was *planned*
+	// not to fit, not one whose memory vanished mid-build).
+	if scale := it.db.Faults.MemoryScale(); scale < 1 {
+		if buildPages, avail := pagesOf(it.buildRowBytes, it.buildLen), it.memPages*scale; buildPages > avail {
+			return fmt.Errorf("exec: hash build of %.0f pages exceeds memory grant shrunk to %.1f pages: %w",
+				buildPages, avail, qerr.ErrInsufficientMemory)
+		}
+	}
 	if err := it.probe.Open(); err != nil {
 		return err
 	}
@@ -95,6 +112,9 @@ func (it *hashJoinIter) Next() (storage.Row, bool, error) {
 		return nil, false, fmt.Errorf("exec: Hash-Join next before open")
 	}
 	for {
+		if err := it.db.checkCancel(); err != nil {
+			return nil, false, err
+		}
 		if it.matchPos < len(it.matches) {
 			m := it.matches[it.matchPos]
 			it.matchPos++
@@ -139,7 +159,18 @@ func (it *hashJoinIter) chargeSpill() {
 func (it *hashJoinIter) Close() error {
 	it.table = nil
 	it.matches = nil
-	return it.probe.Close()
+	var buildErr error
+	if !it.buildClosed {
+		// Open failed mid-build (or was never reached); release the build
+		// side too.
+		buildErr = it.build.Close()
+		it.buildClosed = true
+	}
+	probeErr := it.probe.Close()
+	if buildErr != nil {
+		return buildErr
+	}
+	return probeErr
 }
 
 // buildMergeJoin compiles Merge-Join over two sorted inputs.
@@ -246,6 +277,9 @@ func (it *mergeJoinIter) Next() (storage.Row, bool, error) {
 		return nil, false, fmt.Errorf("exec: Merge-Join next before open")
 	}
 	for {
+		if err := it.db.checkCancel(); err != nil {
+			return nil, false, err
+		}
 		// Emit pending pairs of the current key group.
 		if it.gpos < len(it.group) {
 			out := storage.Concat(it.lrow, it.group[it.gpos])
@@ -370,10 +404,13 @@ func (it *indexJoinIter) Next() (storage.Row, bool, error) {
 		return nil, false, fmt.Errorf("exec: Index-Join next before open")
 	}
 	for {
+		if err := it.db.checkCancel(); err != nil {
+			return nil, false, err
+		}
 		for it.ridPos < len(it.rids) {
 			rid := it.rids[it.ridPos]
 			it.ridPos++
-			inner, err := it.table.Fetch(rid, it.db.Acc, it.db.Pool)
+			inner, err := it.db.fetch(it.table, rid)
 			if err != nil {
 				return nil, false, err
 			}
@@ -421,17 +458,22 @@ type sortIter struct {
 	rowBytes int
 	memPages float64
 
-	rows []storage.Row
-	pos  int
+	childClosed bool
+	rows        []storage.Row
+	pos         int
 }
 
 func (it *sortIter) Open() error {
+	it.childClosed = false
 	if err := it.child.Open(); err != nil {
 		return err
 	}
 	it.rows = it.rows[:0]
 	it.pos = 0
 	for {
+		if err := it.db.checkCancel(); err != nil {
+			return err
+		}
 		row, ok, err := it.child.Next()
 		if err != nil {
 			return err
@@ -445,6 +487,7 @@ func (it *sortIter) Open() error {
 	if err := it.child.Close(); err != nil {
 		return err
 	}
+	it.childClosed = true
 	sort.SliceStable(it.rows, func(i, j int) bool {
 		return it.rows[i][it.col] < it.rows[j][it.col]
 	})
@@ -455,6 +498,19 @@ func (it *sortIter) Open() error {
 	mem := it.memPages
 	if mem < 3 {
 		mem = 3
+	}
+	// A shrink event that leaves fewer pages than a sort's minimum
+	// working set (three pages: two run inputs plus one output) makes the
+	// sort infeasible rather than merely slower.
+	if scale := it.db.Faults.MemoryScale(); scale < 1 {
+		if avail := it.memPages * scale; avail < 3 && pages > avail {
+			return fmt.Errorf("exec: sort of %.0f pages needs at least 3 memory pages, grant shrunk to %.1f: %w",
+				pages, avail, qerr.ErrInsufficientMemory)
+		}
+		mem = it.memPages * scale
+		if mem < 3 {
+			mem = 3
+		}
 	}
 	if pages > mem {
 		runs := (pages + mem - 1) / mem
@@ -484,5 +540,9 @@ func (it *sortIter) Next() (storage.Row, bool, error) {
 
 func (it *sortIter) Close() error {
 	it.rows = nil
+	if !it.childClosed {
+		it.childClosed = true
+		return it.child.Close()
+	}
 	return nil
 }

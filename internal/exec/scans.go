@@ -19,12 +19,12 @@ func (db *DB) buildFileScan(n *physical.Node) (Iterator, Schema, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &fileScanIter{table: table, acc: db.Acc}, schema, nil
+	return &fileScanIter{db: db, table: table}, schema, nil
 }
 
 type fileScanIter struct {
+	db    *DB
 	table *storage.Table
-	acc   *storage.Accountant
 	page  int
 	slot  int
 }
@@ -35,6 +35,9 @@ func (it *fileScanIter) Open() error {
 }
 
 func (it *fileScanIter) Next() (storage.Row, bool, error) {
+	if err := it.db.checkCancel(); err != nil {
+		return nil, false, err
+	}
 	for it.page < it.table.NumPages() {
 		row, err := it.table.Get(storage.RID{Page: int32(it.page), Slot: int32(it.slot)})
 		if err != nil {
@@ -44,10 +47,12 @@ func (it *fileScanIter) Next() (storage.Row, bool, error) {
 			continue
 		}
 		if it.slot == 0 {
-			it.acc.ReadSeq(1)
+			if err := it.db.pageRead(it.table.Name(), int32(it.page), true); err != nil {
+				return nil, false, err
+			}
 		}
 		it.slot++
-		it.acc.Tuples(1)
+		it.db.Acc.Tuples(1)
 		return row, true, nil
 	}
 	return nil, false, nil
@@ -144,12 +149,15 @@ func (it *btreeScanIter) Open() error {
 }
 
 func (it *btreeScanIter) Next() (storage.Row, bool, error) {
+	if err := it.db.checkCancel(); err != nil {
+		return nil, false, err
+	}
 	if it.pos >= len(it.rids) {
 		return nil, false, nil
 	}
 	rid := it.rids[it.pos]
 	it.pos++
-	row, err := it.table.Fetch(rid, it.db.Acc, it.db.Pool)
+	row, err := it.db.fetch(it.table, rid)
 	if err != nil {
 		return nil, false, err
 	}
@@ -169,25 +177,28 @@ func (db *DB) buildFilter(n *physical.Node, b *bindings.Bindings) (Iterator, Sch
 	if err != nil {
 		return nil, nil, err
 	}
-	return &filterIter{child: child, col: col, limit: limit, acc: db.Acc}, schema, nil
+	return &filterIter{db: db, child: child, col: col, limit: limit}, schema, nil
 }
 
 type filterIter struct {
+	db    *DB
 	child Iterator
 	col   int
 	limit float64
-	acc   *storage.Accountant
 }
 
 func (it *filterIter) Open() error { return it.child.Open() }
 
 func (it *filterIter) Next() (storage.Row, bool, error) {
 	for {
+		if err := it.db.checkCancel(); err != nil {
+			return nil, false, err
+		}
 		row, ok, err := it.child.Next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		it.acc.Tuples(1)
+		it.db.Acc.Tuples(1)
 		if float64(row[it.col]) < it.limit {
 			return row, true, nil
 		}

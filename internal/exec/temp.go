@@ -54,10 +54,13 @@ func (db *DB) buildTempScan(n *physical.Node) (Iterator, Schema, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("exec: unknown temporary %q", n.Rel)
 	}
-	return &tempScanIter{table: temp.Table, acc: db.Acc}, temp.Schema, nil
+	// Temporaries live in memory; the fault injector deliberately does not
+	// see their reads — injected page faults model base-table I/O.
+	return &tempScanIter{db: db, table: temp.Table, acc: db.Acc}, temp.Schema, nil
 }
 
 type tempScanIter struct {
+	db    *DB
 	table *storage.Table
 	acc   *storage.Accountant
 	rows  []storage.Row
@@ -75,6 +78,9 @@ func (it *tempScanIter) Open() error {
 }
 
 func (it *tempScanIter) Next() (storage.Row, bool, error) {
+	if err := it.db.checkCancel(); err != nil {
+		return nil, false, err
+	}
 	if it.pos >= len(it.rows) {
 		return nil, false, nil
 	}

@@ -198,6 +198,11 @@ func (n *Node) alternatives(memo map[*Node]float64) float64 {
 	return v
 }
 
+// Label renders the operator with its distinguishing detail ("File-Scan
+// R1", "Hash-Join R1.jh = R2.jl (build left)", …) — the name execution
+// errors are attributed to.
+func (n *Node) Label() string { return n.label() }
+
 // label renders the node's own line for Format.
 func (n *Node) label() string {
 	switch n.Op {

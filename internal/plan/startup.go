@@ -30,6 +30,14 @@ type StartupOptions struct {
 	// a static plan into re-optimization but that dynamic plans often
 	// survive.
 	IndexExists func(rel, attr string) bool
+	// Avoid, when non-nil, marks plan nodes this activation must not use —
+	// typically the branches a failed execution had picked (see
+	// StartupReport.Picked), so the retrying fallback executor can steer
+	// re-activation onto sibling alternatives. A choose-plan falls back to
+	// its remaining alternatives; activation fails with ErrInfeasible when
+	// no complete plan avoiding every marked node survives. Nodes are
+	// matched by identity against the module's own DAG.
+	Avoid func(n *physical.Node) bool
 }
 
 // ErrInfeasible reports that no feasible plan remains in the access
@@ -50,6 +58,11 @@ type StartupReport struct {
 	ChosenCost float64
 	// Decisions is the number of choose-plan operators resolved.
 	Decisions int
+	// Picked records, per resolved choose-plan in resolution order, the
+	// alternative (DAG child pointer) the decision procedure selected.
+	// The fallback executor passes these back through
+	// StartupOptions.Avoid after a branch fails mid-query.
+	Picked []*physical.Node
 	// NodesEvaluated is the number of distinct plan nodes whose cost
 	// functions were evaluated; with branch-and-bound it can be smaller
 	// than the module's node count.
@@ -88,6 +101,15 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 	model := physical.NewModel(opt.Params)
 
 	root := m.root
+	// Avoid pruning runs first, against the module's untouched DAG, so the
+	// caller's node identities (from a prior report's Picked) still match.
+	if opt.Avoid != nil {
+		pruned, err := pruneAvoid(root, opt.Avoid)
+		if err != nil {
+			return nil, err
+		}
+		root = pruned
+	}
 	if opt.IndexExists != nil {
 		pruned, err := pruneInfeasible(root, opt.IndexExists)
 		if err != nil {
@@ -121,7 +143,7 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 		}
 	}
 
-	resolved, used, decisions := resolve(root, chooser)
+	resolved, used, picked := resolve(root, chooser)
 	chosenCost := model.Evaluate(resolved, env).Cost.Lo
 
 	m.activations++
@@ -145,7 +167,8 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 	return &StartupReport{
 		Chosen:         resolved,
 		ChosenCost:     chosenCost,
-		Decisions:      decisions,
+		Decisions:      len(picked),
+		Picked:         picked,
 		NodesEvaluated: nodesEvaluated,
 		SimCPUSeconds:  float64(nodesEvaluated) * opt.Params.StartupNodeTime,
 		SimIOSeconds:   m.ReadTime(opt.Params),
@@ -157,16 +180,17 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 // alternative the chooser selects, producing a tree (a chosen plan uses
 // each shared subplan at most once, since join operands cover disjoint
 // relation sets). It returns the resolved root, the set of original DAG
-// nodes the chosen plan uses, and the number of decisions made.
-func resolve(root *physical.Node, choose func(*physical.Node) (*physical.Node, float64)) (*physical.Node, map[*physical.Node]bool, int) {
+// nodes the chosen plan uses, and the alternatives picked (one per
+// choose-plan resolved, in resolution order).
+func resolve(root *physical.Node, choose func(*physical.Node) (*physical.Node, float64)) (*physical.Node, map[*physical.Node]bool, []*physical.Node) {
 	used := make(map[*physical.Node]bool)
-	decisions := 0
+	var picked []*physical.Node
 	var walk func(n *physical.Node) *physical.Node
 	walk = func(n *physical.Node) *physical.Node {
 		used[n] = true
 		if n.Op == physical.ChoosePlan {
-			decisions++
 			best, _ := choose(n)
+			picked = append(picked, best)
 			return walk(best)
 		}
 		changed := false
@@ -185,7 +209,7 @@ func resolve(root *physical.Node, choose func(*physical.Node) (*physical.Node, f
 		return &clone
 	}
 	r := walk(root)
-	return r, used, decisions
+	return r, used, picked
 }
 
 // missingVars returns host variables the plan references that the
@@ -384,6 +408,76 @@ func pruneInfeasible(root *physical.Node, exists func(rel, attr string) bool) (*
 			}
 		}
 		memo[n] = entry{node: result}
+		return result
+	}
+	pruned := walk(root)
+	if pruned == nil {
+		return nil, ErrInfeasible
+	}
+	return pruned, nil
+}
+
+// pruneAvoid rebuilds the plan DAG without the nodes the predicate marks
+// (and without every plan that would have to run them). Choose-plan
+// operators keep their surviving alternatives, collapsing when one
+// remains; any other operator whose input is avoided is itself removed.
+// It returns ErrInfeasible when no complete plan survives.
+func pruneAvoid(root *physical.Node, avoid func(*physical.Node) bool) (*physical.Node, error) {
+	memo := make(map[*physical.Node]*physical.Node)
+	visited := make(map[*physical.Node]bool)
+	var walk func(n *physical.Node) *physical.Node
+	walk = func(n *physical.Node) *physical.Node {
+		if visited[n] {
+			return memo[n]
+		}
+		visited[n] = true
+		if avoid(n) {
+			memo[n] = nil
+			return nil
+		}
+		var result *physical.Node
+		if n.Op == physical.ChoosePlan {
+			var kept []*physical.Node
+			for _, c := range n.Children {
+				if r := walk(c); r != nil {
+					kept = append(kept, r)
+				}
+			}
+			switch {
+			case len(kept) == 0:
+				// infeasible
+			case len(kept) == 1:
+				result = kept[0]
+			case len(kept) == len(n.Children) && sameNodes(kept, n.Children):
+				result = n
+			default:
+				clone := *n
+				clone.Children = kept
+				result = &clone
+			}
+		} else {
+			children := make([]*physical.Node, len(n.Children))
+			changed := false
+			ok := true
+			for i, c := range n.Children {
+				r := walk(c)
+				if r == nil {
+					ok = false
+					break
+				}
+				children[i] = r
+				changed = changed || r != c
+			}
+			if ok {
+				result = n
+				if changed {
+					clone := *n
+					clone.Children = children
+					result = &clone
+				}
+			}
+		}
+		memo[n] = result
 		return result
 	}
 	pruned := walk(root)

@@ -1,0 +1,75 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFromContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx.Err())
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("canceled context not classified: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("original context error lost: %v", err)
+	}
+	if !Canceled(err) {
+		t.Error("Canceled(err) = false")
+	}
+
+	derr := FromContext(context.DeadlineExceeded)
+	if !errors.Is(derr, ErrDeadlineExceeded) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Errorf("deadline error not classified: %v", derr)
+	}
+	if FromContext(nil) != nil {
+		t.Error("FromContext(nil) must be nil")
+	}
+	plain := errors.New("not a context error")
+	if FromContext(plain) != plain {
+		t.Error("non-context error must pass through unchanged")
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	if !Retryable(fmt.Errorf("wrapped: %w", ErrTransientIO)) {
+		t.Error("transient I/O must be retryable")
+	}
+	if !Retryable(ErrInsufficientMemory) {
+		t.Error("insufficient memory must be retryable")
+	}
+	for _, err := range []error{ErrCanceled, ErrDeadlineExceeded, ErrPermanentIO, ErrOperatorPanic, errors.New("other")} {
+		if Retryable(err) {
+			t.Errorf("%v must not be retryable", err)
+		}
+	}
+}
+
+func TestAt(t *testing.T) {
+	if At("op", nil) != nil {
+		t.Error("At(nil) must be nil")
+	}
+	inner := At("File-Scan R1", ErrTransientIO)
+	if Operator(inner) != "File-Scan R1" {
+		t.Errorf("Operator = %q", Operator(inner))
+	}
+	// Outer wrapping must not override the innermost operator.
+	outer := At("Hash-Join R1.k = R2.k", inner)
+	if Operator(outer) != "File-Scan R1" {
+		t.Errorf("innermost operator lost: %q", Operator(outer))
+	}
+	if !errors.Is(outer, ErrTransientIO) {
+		t.Error("classification lost through OpError")
+	}
+	// Cancellation is never attributed to an operator.
+	canceled := At("Sort R1.a", FromContext(context.Canceled))
+	if Operator(canceled) != "" {
+		t.Errorf("cancellation attributed to operator %q", Operator(canceled))
+	}
+	if Operator(errors.New("plain")) != "" {
+		t.Error("plain error has an operator")
+	}
+}

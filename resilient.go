@@ -1,0 +1,181 @@
+package dynplan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dynplan/internal/physical"
+	"dynplan/internal/plan"
+	"dynplan/internal/qerr"
+)
+
+// RetryPolicy bounds the retrying fallback executor.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of executions tried, including the
+	// first (default 5).
+	MaxAttempts int
+	// Backoff is the pause before the first retry, doubling each further
+	// retry; zero retries immediately. The pause respects the context.
+	Backoff time.Duration
+	// MemoryDowngrade is the factor applied to the memory grant when an
+	// attempt fails with ErrInsufficientMemory and the injector reports no
+	// specific shrink factor to absorb (default 0.5).
+	MemoryDowngrade float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.MemoryDowngrade <= 0 || p.MemoryDowngrade >= 1 {
+		p.MemoryDowngrade = 0.5
+	}
+	return p
+}
+
+// ExecuteResilient activates and executes an access module with fallback
+// on mid-query failure — the run-time payoff of carrying alternatives in
+// the plan. Each attempt activates the module (resolving its choose-plan
+// operators) and executes the chosen plan; when the attempt fails, the
+// failure's classification decides the recovery:
+//
+//   - ErrTransientIO: the same plan is retried — transient faults heal
+//     after a bounded number of touches, so each retry makes progress.
+//   - ErrInsufficientMemory: the memory grant is downgraded to what is
+//     actually available (absorbing the injector's shrink event, or
+//     applying MemoryDowngrade), the branches the failed attempt had
+//     picked are excluded, and activation re-resolves the choose-plans —
+//     selecting the best alternative branch for the reduced memory.
+//   - Permanent faults and operator panics: the picked branches are
+//     excluded so re-activation steers onto sibling alternatives that may
+//     avoid the poisoned access path; with no alternatives left the
+//     failure is final.
+//   - ErrCanceled / ErrDeadlineExceeded: never retried.
+//
+// When excluding failed branches leaves no feasible plan, the exclusions
+// are forgiven (the module's full choice set is restored) rather than
+// giving up — a transiently-poisoned branch may have healed. Every chosen
+// alternative computes the same result (the choose-plan invariant), so a
+// fallback success returns exactly the rows the fault-free execution
+// would have.
+//
+// The result's Retries, BranchSwitched, FaultsAbsorbed, and
+// EffectiveMemoryPages fields report what the execution absorbed.
+func (db *Database) ExecuteResilient(ctx context.Context, m *Module, b Bindings, pol RetryPolicy) (*ExecResult, error) {
+	pol = pol.withDefaults()
+	mem := b.MemoryPages
+	avoid := make(map[*physical.Node]bool)
+	var firstPicked []*physical.Node
+	absorbedBase := db.faults.Stats().Absorbed
+	retries := 0
+	branchSwitched := false
+
+	for attempt := 1; ; attempt++ {
+		if err := qerr.FromContext(ctx.Err()); err != nil {
+			return nil, err
+		}
+		opts := plan.StartupOptions{Params: db.sys.params}
+		if len(avoid) > 0 {
+			opts.Avoid = func(n *physical.Node) bool { return avoid[n] }
+		}
+		bb := b
+		bb.MemoryPages = mem
+		rep, err := m.mod.Activate(bb.internal(), opts)
+		if errors.Is(err, plan.ErrInfeasible) && len(avoid) > 0 {
+			// Every alternative has failed at least once; forgive the
+			// exclusions and try the full choice set again.
+			clear(avoid)
+			rep, err = m.mod.Activate(bb.internal(), plan.StartupOptions{Params: db.sys.params})
+		}
+		if err != nil {
+			return nil, err
+		}
+		if attempt == 1 {
+			firstPicked = rep.Picked
+		} else if !samePicked(firstPicked, rep.Picked) {
+			branchSwitched = true
+		}
+
+		res, err := db.ExecuteContext(ctx, rep.Chosen, bb)
+		if err == nil {
+			res.Retries = retries
+			res.BranchSwitched = branchSwitched
+			res.FaultsAbsorbed = db.faults.Stats().Absorbed - absorbedBase
+			res.EffectiveMemoryPages = mem * db.faults.MemoryScale()
+			return res, nil
+		}
+		if qerr.Canceled(err) {
+			return nil, err
+		}
+		if attempt >= pol.MaxAttempts {
+			return nil, fmt.Errorf("dynplan: resilient execution gave up after %d attempts: %w", attempt, err)
+		}
+		retries++
+		switch {
+		case errors.Is(err, qerr.ErrInsufficientMemory):
+			if scale := db.faults.MemoryScale(); scale < 1 {
+				// Acknowledge the shrink event: the next activation plans
+				// for the memory actually available, so the executor must
+				// not discount it a second time.
+				mem *= scale
+				db.faults.RestoreMemory()
+			} else {
+				mem *= pol.MemoryDowngrade
+			}
+			for _, n := range rep.Picked {
+				avoid[n] = true
+			}
+		case errors.Is(err, qerr.ErrTransientIO):
+			// Retry the same plan: the fault-injection substrate heals
+			// transient faults after a bounded number of touches, so the
+			// retry gets strictly past the page it tripped on.
+		default:
+			// Permanent fault, operator panic, or an unclassified failure:
+			// only a different branch can help.
+			if len(rep.Picked) == 0 {
+				return nil, fmt.Errorf("dynplan: execution failed with no alternative branches to fall back to: %w", err)
+			}
+			for _, n := range rep.Picked {
+				avoid[n] = true
+			}
+		}
+		if err := sleepBackoff(ctx, pol.Backoff, retries); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// samePicked reports whether two activations resolved their choose-plans
+// to the identical alternatives.
+func samePicked(a, b []*physical.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sleepBackoff pauses base × 2^(retry−1), honoring the context.
+func sleepBackoff(ctx context.Context, base time.Duration, retry int) error {
+	if base <= 0 {
+		return nil
+	}
+	shift := retry - 1
+	if shift > 16 {
+		shift = 16
+	}
+	t := time.NewTimer(base << uint(shift))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return qerr.FromContext(ctx.Err())
+	case <-t.C:
+		return nil
+	}
+}
