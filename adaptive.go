@@ -81,6 +81,7 @@ func (db *Database) ExecuteAdaptiveContext(ctx context.Context, p *Plan, b Bindi
 		Acc:     acc,
 		Ctx:     ctx,
 		Faults:  db.faults,
+		Obs:     db.collector,
 	}
 	res, err := adaptive.Run(e, p.Root(), b.internal(), adaptive.Options{Params: db.sys.params})
 	if err != nil {

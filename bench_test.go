@@ -184,6 +184,7 @@ func BenchmarkFigure4ExecutionTimes(b *testing.B) {
 			}
 		})
 	}
+	recordFigure4(b, e)
 }
 
 // BenchmarkFigure5OptimizationTime measures static versus dynamic
@@ -233,6 +234,7 @@ func BenchmarkFigure6PlanSizes(b *testing.B) {
 			b.ReportMetric(dyn.Plan.Alternatives(), "plans-encoded")
 		})
 	}
+	recordFigure6(b, e)
 }
 
 // BenchmarkFigure7StartupCPU measures dynamic-plan start-up (the
@@ -258,6 +260,7 @@ func BenchmarkFigure7StartupCPU(b *testing.B) {
 			b.ReportMetric(e.modules[n].ReadTime(e.params), "module-io-s")
 		})
 	}
+	recordFigure7(b, e)
 }
 
 // BenchmarkFigure8RuntimeOptVsDynamic performs, per iteration, one

@@ -1,0 +1,100 @@
+// Command benchdiff compares freshly generated benchmark run records
+// (BENCH_*.json, written by the Figure benchmarks when BENCH_DIR is set)
+// against the committed baselines and fails when a gated simulated-cost
+// total regresses beyond the tolerance.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -baseline . -current /tmp/bench
+//
+// Every BENCH_*.json in the baseline directory must have a counterpart
+// in the current directory; a missing counterpart fails the comparison
+// (a benchmark silently dropping out of the pipeline is itself a
+// regression). Records whose baseline SimCostTotal is zero are size-only:
+// their metric drifts are reported but never fail the run. Exit status is
+// 1 on any gating regression or missing record, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dynplan/internal/obs"
+)
+
+func main() {
+	baseline := flag.String("baseline", ".", "directory holding the committed BENCH_*.json baselines")
+	current := flag.String("current", "", "directory holding the freshly generated BENCH_*.json records")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional increase of a gated sim-cost total")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	failed, err := diff(*baseline, *current, *tolerance, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// diff compares every baseline record against its current counterpart,
+// writing the report to out. It returns true when the comparison fails
+// (gating regression, missing or unreadable record).
+func diff(baseline, current string, tolerance float64, out io.Writer) (bool, error) {
+	paths, err := filepath.Glob(filepath.Join(baseline, "BENCH_*.json"))
+	if err != nil {
+		return true, err
+	}
+	if len(paths) == 0 {
+		return true, fmt.Errorf("no BENCH_*.json baselines in %s", baseline)
+	}
+	sort.Strings(paths)
+
+	failed := false
+	for _, p := range paths {
+		base, err := obs.ReadRecordFile(p)
+		if err != nil {
+			fmt.Fprintf(out, "ERROR    %s\n", err)
+			failed = true
+			continue
+		}
+		cur, err := obs.ReadRecordFile(filepath.Join(current, filepath.Base(p)))
+		if err != nil {
+			fmt.Fprintf(out, "MISSING  %-24s no current record (%v)\n", base.Name, err)
+			failed = true
+			continue
+		}
+		deltas := obs.Compare(base, cur, tolerance)
+		gated := false
+		for _, d := range deltas {
+			if d.Gating {
+				gated = true
+				failed = true
+				fmt.Fprintf(out, "REGRESS  %-24s %s: %.6g -> %.6g (%.1f%% over baseline, tolerance %.0f%%)\n",
+					d.Record, d.Metric, d.Baseline, d.Current, (d.Ratio-1)*100, tolerance*100)
+			} else {
+				fmt.Fprintf(out, "drift    %-24s %s: %.6g -> %.6g\n", d.Record, d.Metric, d.Baseline, d.Current)
+			}
+		}
+		if !gated {
+			status := "ok"
+			if len(deltas) > 0 {
+				status = "ok+drift"
+			}
+			if base.SimCostTotal > 0 {
+				fmt.Fprintf(out, "%-8s %-24s sim-cost %.6g -> %.6g\n", status, base.Name, base.SimCostTotal, cur.SimCostTotal)
+			} else {
+				fmt.Fprintf(out, "%-8s %-24s (size-only, not gated)\n", status, base.Name)
+			}
+		}
+	}
+	return failed, nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dynplan/internal/obs"
+)
+
+func write(t *testing.T, dir string, rec *obs.RunRecord) {
+	t.Helper()
+	if err := rec.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	baseDir := t.TempDir()
+	write(t, baseDir, &obs.RunRecord{Name: "gated", SimCostTotal: 10,
+		Metrics: map[string]float64{"a": 100}})
+	write(t, baseDir, &obs.RunRecord{Name: "sizes", SimCostTotal: 0,
+		Metrics: map[string]float64{"nodes": 50}})
+
+	t.Run("identical-passes", func(t *testing.T) {
+		curDir := t.TempDir()
+		write(t, curDir, &obs.RunRecord{Name: "gated", SimCostTotal: 10,
+			Metrics: map[string]float64{"a": 100}})
+		write(t, curDir, &obs.RunRecord{Name: "sizes", SimCostTotal: 0,
+			Metrics: map[string]float64{"nodes": 50}})
+		var out strings.Builder
+		failed, err := diff(baseDir, curDir, 0.10, &out)
+		if err != nil || failed {
+			t.Fatalf("failed=%v err=%v\n%s", failed, err, out.String())
+		}
+		if !strings.Contains(out.String(), "size-only") {
+			t.Errorf("report should mark the size-only record:\n%s", out.String())
+		}
+	})
+
+	t.Run("regression-fails", func(t *testing.T) {
+		curDir := t.TempDir()
+		write(t, curDir, &obs.RunRecord{Name: "gated", SimCostTotal: 12,
+			Metrics: map[string]float64{"a": 100}})
+		write(t, curDir, &obs.RunRecord{Name: "sizes", SimCostTotal: 0,
+			Metrics: map[string]float64{"nodes": 50}})
+		var out strings.Builder
+		failed, err := diff(baseDir, curDir, 0.10, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !failed || !strings.Contains(out.String(), "REGRESS") {
+			t.Errorf("20%% sim-cost regression not gated:\n%s", out.String())
+		}
+	})
+
+	t.Run("size-only-drift-passes", func(t *testing.T) {
+		curDir := t.TempDir()
+		write(t, curDir, &obs.RunRecord{Name: "gated", SimCostTotal: 10,
+			Metrics: map[string]float64{"a": 100}})
+		write(t, curDir, &obs.RunRecord{Name: "sizes", SimCostTotal: 0,
+			Metrics: map[string]float64{"nodes": 90}})
+		var out strings.Builder
+		failed, err := diff(baseDir, curDir, 0.10, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failed {
+			t.Errorf("size-only drift should not fail:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "drift") {
+			t.Errorf("drift not reported:\n%s", out.String())
+		}
+	})
+
+	t.Run("missing-record-fails", func(t *testing.T) {
+		curDir := t.TempDir()
+		write(t, curDir, &obs.RunRecord{Name: "gated", SimCostTotal: 10,
+			Metrics: map[string]float64{"a": 100}})
+		var out strings.Builder
+		failed, err := diff(baseDir, curDir, 0.10, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !failed || !strings.Contains(out.String(), "MISSING") {
+			t.Errorf("missing current record not flagged:\n%s", out.String())
+		}
+	})
+
+	t.Run("empty-baseline-errors", func(t *testing.T) {
+		var out strings.Builder
+		if _, err := diff(t.TempDir(), t.TempDir(), 0.10, &out); err == nil {
+			t.Error("empty baseline directory should error")
+		}
+	})
+}
+
+// TestCommittedBaselinesAreComparable guards the committed baselines at
+// the repo root: they must parse and compare cleanly against themselves.
+func TestCommittedBaselinesAreComparable(t *testing.T) {
+	var out strings.Builder
+	failed, err := diff("../..", "../..", 0.10, &out)
+	if err != nil {
+		t.Fatalf("committed baselines unreadable: %v", err)
+	}
+	if failed {
+		t.Fatalf("committed baselines fail self-comparison:\n%s", out.String())
+	}
+	for _, name := range []string{"figure4-exec-times", "figure6-plan-sizes", "figure7-startup"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("committed baselines missing %s:\n%s", name, out.String())
+		}
+	}
+}

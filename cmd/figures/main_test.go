@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestAnalyzeDemo runs the observability walkthrough end to end; it is
+// the smoke test that keeps the -exp analyze path working.
+func TestAnalyzeDemo(t *testing.T) {
+	if err := analyzeDemo(); err != nil {
+		t.Fatal(err)
+	}
+}

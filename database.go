@@ -7,6 +7,7 @@ import (
 
 	"dynplan/internal/btree"
 	"dynplan/internal/exec"
+	"dynplan/internal/obs"
 	"dynplan/internal/physical"
 	"dynplan/internal/stats"
 	"dynplan/internal/storage"
@@ -21,6 +22,9 @@ type Database struct {
 	loaded     map[string]bool
 	histograms map[string]map[string]*stats.Histogram
 	faults     *storage.Injector
+	// collector, when non-nil, meters every executed operator; see
+	// EnableObservability.
+	collector *obs.Collector
 }
 
 // FaultConfig parameterizes deterministic fault injection on base-table
@@ -150,6 +154,16 @@ type ExecResult struct {
 	// actually ran under; it is smaller than the bindings' grant after a
 	// memory-shrink event forced a downgrade.
 	EffectiveMemoryPages float64
+
+	// Operators is the per-operator stats tree of the execution, parallel
+	// to the executed plan; nil unless the database had observability
+	// enabled (EnableObservability). Render it with ExplainAnalyze.
+	Operators *obs.PlanStats
+	// Decisions is the start-up decision trace of the activation that
+	// produced the executed plan, when the execution path carries one
+	// (ExecuteResilient attaches it; for explicit activations use
+	// Activation.DecisionTrace).
+	Decisions []obs.ChoiceTrace
 }
 
 // SimulatedSeconds converts the account to simulated execution time under
@@ -174,12 +188,16 @@ func (db *Database) Execute(root *physical.Node, b Bindings) (*ExecResult, error
 // base-table page reads run through it.
 func (db *Database) ExecuteContext(ctx context.Context, root *physical.Node, b Bindings) (*ExecResult, error) {
 	acc := &storage.Accountant{}
+	// Each execution collects into a fresh window: the stats tree
+	// describes this run, not the collector's lifetime.
+	db.collector.Reset()
 	e := &exec.DB{
 		Catalog: db.sys.cat,
 		Store:   db.store,
 		Indexes: db.indexes,
 		Acc:     acc,
 		Faults:  db.faults,
+		Obs:     db.collector,
 	}
 	absorbedBefore := db.faults.Stats().Absorbed
 	rows, schema, err := e.RunContext(ctx, root, b.internal())
@@ -194,6 +212,7 @@ func (db *Database) ExecuteContext(ctx context.Context, root *physical.Node, b B
 		TupleOps:             acc.TupleOps(),
 		FaultsAbsorbed:       db.faults.Stats().Absorbed - absorbedBefore,
 		EffectiveMemoryPages: b.MemoryPages * db.faults.MemoryScale(),
+		Operators:            db.collector.Tree(root),
 	}
 	out.Rows = make([][]int64, len(rows))
 	for i, r := range rows {
@@ -223,13 +242,12 @@ func (r *ExecResult) Project(cols []string) (*ExecResult, error) {
 		}
 		perm[i] = found
 	}
-	out := &ExecResult{
-		Columns:       append([]string(nil), cols...),
-		SeqPageReads:  r.SeqPageReads,
-		RandPageReads: r.RandPageReads,
-		PageWrites:    r.PageWrites,
-		TupleOps:      r.TupleOps,
-	}
+	// Copy the whole result — I/O account, resilience metadata, and
+	// observability attachments survive post-processing — then replace
+	// the projected columns and rows.
+	out := &ExecResult{}
+	*out = *r
+	out.Columns = append([]string(nil), cols...)
 	out.Rows = make([][]int64, len(r.Rows))
 	for i, row := range r.Rows {
 		projected := make([]int64, len(perm))

@@ -21,6 +21,7 @@ import (
 	"dynplan/internal/bindings"
 	"dynplan/internal/btree"
 	"dynplan/internal/catalog"
+	"dynplan/internal/obs"
 	"dynplan/internal/physical"
 	"dynplan/internal/qerr"
 	"dynplan/internal/storage"
@@ -78,6 +79,12 @@ type DB struct {
 	// Wrap, when non-nil, decorates every compiled iterator (outermost);
 	// the leak-checking test wrapper uses it.
 	Wrap func(it Iterator, n *physical.Node) Iterator
+	// Obs, when non-nil, meters every compiled operator: rows, Next
+	// calls, inclusive page/tuple/fault/wall deltas, and buffered-memory
+	// high-water, keyed by plan node. A nil Obs (the default) skips the
+	// metering wrapper entirely — the disabled fast path is one pointer
+	// check per compiled operator.
+	Obs *obs.Collector
 
 	// polls counts cancellation checks so only every pollEvery-th check
 	// actually inspects the context.
@@ -184,6 +191,9 @@ func (db *DB) Build(n *physical.Node, b *bindings.Bindings) (Iterator, Schema, e
 	it, schema, err := db.compile(n, b)
 	if err != nil {
 		return nil, nil, err
+	}
+	if db.Obs.Enabled() {
+		it = newMeter(db, it, db.Obs.StatsFor(n))
 	}
 	it = &guardIter{inner: it, op: n.Label()}
 	if db.Wrap != nil {

@@ -137,6 +137,12 @@ func (it *hashJoinIter) Next() (storage.Row, bool, error) {
 	}
 }
 
+// MemoryHighWater reports the build side's buffered bytes, the join's
+// memory footprint (the probe side streams).
+func (it *hashJoinIter) MemoryHighWater() int64 {
+	return int64(it.buildLen) * int64(it.buildRowBytes)
+}
+
 // chargeSpill accounts the Grace-partitioning I/O the cost model predicts
 // when the build input does not fit in the memory available at run-time:
 // both inputs are written to partition files and read back. The engine
@@ -460,7 +466,13 @@ type sortIter struct {
 
 	childClosed bool
 	rows        []storage.Row
+	maxRows     int
 	pos         int
+}
+
+// MemoryHighWater reports the largest workspace the sort buffered.
+func (it *sortIter) MemoryHighWater() int64 {
+	return int64(it.maxRows) * int64(it.rowBytes)
 }
 
 func (it *sortIter) Open() error {
@@ -488,6 +500,9 @@ func (it *sortIter) Open() error {
 		return err
 	}
 	it.childClosed = true
+	if len(it.rows) > it.maxRows {
+		it.maxRows = len(it.rows)
+	}
 	sort.SliceStable(it.rows, func(i, j int) bool {
 		return it.rows[i][it.col] < it.rows[j][it.col]
 	})

@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"time"
+
+	"dynplan/internal/obs"
+	"dynplan/internal/storage"
+)
+
+// memReporter is implemented by iterators that buffer rows (hash-join
+// build sides, sort workspaces, spooled temporaries) so the meter can
+// record their memory high-water mark.
+type memReporter interface {
+	MemoryHighWater() int64
+}
+
+// meterIter decorates a compiled operator with per-operator metrics
+// collection: iterator-protocol traffic, produced rows, and — measured as
+// accountant/injector/clock deltas around each call, hence inclusive of
+// the operator's inputs — page I/O, tuple work, absorbed faults, and wall
+// time. It is only installed when a collector is enabled, so a disabled
+// collector costs one nil check per compiled operator and nothing per
+// row.
+type meterIter struct {
+	db    *DB
+	inner Iterator
+	c     *obs.Counters
+	mem   memReporter
+}
+
+// newMeter wraps an iterator; the counters live in the collector, keyed
+// by the plan node the iterator implements.
+func newMeter(db *DB, inner Iterator, c *obs.Counters) *meterIter {
+	m := &meterIter{db: db, inner: inner, c: c}
+	if mr, ok := inner.(memReporter); ok {
+		m.mem = mr
+	}
+	return m
+}
+
+// begin snapshots the accountant, fault injector, and clock before a
+// call into the wrapped iterator.
+func (m *meterIter) begin() (storage.AccountSnapshot, int64, time.Time) {
+	return m.db.Acc.Snapshot(), m.db.Faults.Stats().Absorbed, time.Now()
+}
+
+// end charges the deltas since begin to the operator's counters.
+func (m *meterIter) end(snap storage.AccountSnapshot, absorbed int64, start time.Time) {
+	d := m.db.Acc.Snapshot().Sub(snap)
+	m.c.SeqPageReads += d.SeqPageReads
+	m.c.RandPageReads += d.RandPageReads
+	m.c.PageWrites += d.PageWrites
+	m.c.TupleOps += d.TupleOps
+	m.c.FaultsAbsorbed += m.db.Faults.Stats().Absorbed - absorbed
+	m.c.WallNanos += time.Since(start).Nanoseconds()
+	if m.mem != nil {
+		if hw := m.mem.MemoryHighWater(); hw > m.c.MemBytes {
+			m.c.MemBytes = hw
+		}
+	}
+}
+
+func (m *meterIter) Open() error {
+	snap, absorbed, start := m.begin()
+	err := m.inner.Open()
+	m.c.Opens++
+	m.end(snap, absorbed, start)
+	return err
+}
+
+func (m *meterIter) Next() (storage.Row, bool, error) {
+	snap, absorbed, start := m.begin()
+	row, ok, err := m.inner.Next()
+	m.c.NextCalls++
+	if ok {
+		m.c.Rows++
+	}
+	m.end(snap, absorbed, start)
+	return row, ok, err
+}
+
+func (m *meterIter) Close() error {
+	snap, absorbed, start := m.begin()
+	err := m.inner.Close()
+	m.end(snap, absorbed, start)
+	return err
+}

@@ -94,3 +94,8 @@ func (it *tempScanIter) Close() error {
 	it.rows = nil
 	return nil
 }
+
+// MemoryHighWater reports the spooled temporary's in-memory footprint.
+func (it *tempScanIter) MemoryHighWater() int64 {
+	return int64(it.table.NumPages()) * storage.PageBytes
+}

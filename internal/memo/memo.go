@@ -74,6 +74,20 @@ func (m *Memo) Store(g Goal, w *Winner) {
 // Len returns the number of memoized goals.
 func (m *Memo) Len() int { return len(m.winners) }
 
+// ExtraAlternatives returns the number of plans retained beyond the first
+// across all goals — the mutually incomparable (or tied) survivors that
+// choose-plan operators carry into the dynamic plan. Zero for a fully
+// determined (static) optimization.
+func (m *Memo) ExtraAlternatives() int {
+	total := 0
+	for _, w := range m.winners {
+		if w.Alternatives > 1 {
+			total += w.Alternatives - 1
+		}
+	}
+	return total
+}
+
 // Goals returns the memoized goals in first-stored order.
 func (m *Memo) Goals() []Goal {
 	return append([]Goal(nil), m.order...)

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+)
+
+// RunRecord is the machine-readable outcome of one measured run: the
+// query, the executed plan shape with its per-operator counters, the
+// optimizer span and start-up decisions when available, a flat metrics
+// map, and the simulated-cost total CI gates regressions on. The
+// benchmark harness writes one record per experiment as BENCH_<name>.json;
+// the committed copies are the perf-trajectory baselines cmd/benchdiff
+// compares fresh runs against.
+type RunRecord struct {
+	// Name identifies the record and determines its filename.
+	Name string `json:"name"`
+	// Query describes the measured query, free-form.
+	Query string `json:"query,omitempty"`
+	// Metrics are the record's named series (averages, counts, sizes).
+	Metrics map[string]float64 `json:"metrics"`
+	// SimCostTotal is the headline simulated cost in seconds; CI fails
+	// when it regresses more than the tolerance against the committed
+	// baseline. Zero means the record carries no gated cost (size-only
+	// records), and comparison skips the gate.
+	SimCostTotal float64 `json:"sim_cost_total"`
+	// Optimizer, Operators, and Decisions attach the full telemetry when
+	// the run collected it.
+	Optimizer *OptimizerSpan `json:"optimizer,omitempty"`
+	Operators *PlanStats     `json:"operators,omitempty"`
+	Decisions []ChoiceTrace  `json:"decisions,omitempty"`
+}
+
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+// Filename returns the record's canonical file name, BENCH_<name>.json.
+func (r *RunRecord) Filename() (string, error) {
+	if !nameRe.MatchString(r.Name) {
+		return "", fmt.Errorf("obs: run record name %q is not filename-safe", r.Name)
+	}
+	return "BENCH_" + r.Name + ".json", nil
+}
+
+// WriteFile writes the record as indented JSON into dir under its
+// canonical name.
+func (r *RunRecord) WriteFile(dir string) error {
+	name, err := r.Filename()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
+}
+
+// ReadRecordFile loads a run record from a JSON file.
+func ReadRecordFile(path string) (*RunRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r RunRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: parsing %s: %w", path, err)
+	}
+	if r.Name == "" {
+		return nil, fmt.Errorf("obs: %s has no record name", path)
+	}
+	return &r, nil
+}
+
+// Delta describes one metric's movement between a baseline record and a
+// current record.
+type Delta struct {
+	Record   string  `json:"record"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Ratio is current/baseline (0 when the baseline is zero).
+	Ratio float64 `json:"ratio"`
+	// Gating marks the deltas that fail the comparison (simulated-cost
+	// regressions beyond tolerance); other deltas are informational
+	// drift.
+	Gating bool `json:"gating"`
+}
+
+// Compare diffs a current record against its baseline. A simulated-cost
+// total more than tolerance above the baseline is a gating regression;
+// any metric moving more than tolerance in either direction is reported
+// as informational drift.
+func Compare(baseline, current *RunRecord, tolerance float64) []Delta {
+	var deltas []Delta
+	if baseline.SimCostTotal > 0 {
+		ratio := current.SimCostTotal / baseline.SimCostTotal
+		if ratio > 1+tolerance {
+			deltas = append(deltas, Delta{
+				Record: baseline.Name, Metric: "sim_cost_total",
+				Baseline: baseline.SimCostTotal, Current: current.SimCostTotal,
+				Ratio: ratio, Gating: true,
+			})
+		}
+	}
+	for _, k := range MetricNames(baseline.Metrics) {
+		bv := baseline.Metrics[k]
+		cv, ok := current.Metrics[k]
+		if !ok {
+			deltas = append(deltas, Delta{Record: baseline.Name, Metric: k, Baseline: bv})
+			continue
+		}
+		if bv == 0 {
+			if cv != 0 {
+				deltas = append(deltas, Delta{Record: baseline.Name, Metric: k, Baseline: bv, Current: cv})
+			}
+			continue
+		}
+		ratio := cv / bv
+		if ratio > 1+tolerance || ratio < 1-tolerance {
+			deltas = append(deltas, Delta{
+				Record: baseline.Name, Metric: k,
+				Baseline: bv, Current: cv, Ratio: ratio,
+			})
+		}
+	}
+	return deltas
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Render formats the stats tree as an EXPLAIN ANALYZE-style annotated
+// plan: each operator line carries its observed rows, page I/O, tuple
+// work, wall time, simulated time under the supplied rates, and buffered
+// memory high-water where applicable. I/O and time figures are inclusive
+// of the operator's inputs; rows are the operator's own output.
+func (s *PlanStats) Render(r CostRates) string {
+	var b strings.Builder
+	seen := make(map[*PlanStats]bool)
+	s.render(&b, 0, r, seen)
+	return b.String()
+}
+
+func (s *PlanStats) render(b *strings.Builder, depth int, r CostRates, seen map[*PlanStats]bool) {
+	indent := strings.Repeat("  ", depth)
+	if seen[s] {
+		fmt.Fprintf(b, "%s%s (shared, shown above)\n", indent, s.Label)
+		return
+	}
+	seen[s] = true
+	c := s.Counters
+	fmt.Fprintf(b, "%s%s\n", indent, s.Label)
+	fmt.Fprintf(b, "%s  (rows=%d next=%d seq=%d rand=%d write=%d tuples=%d wall=%s sim=%.4gs",
+		indent, c.Rows, c.NextCalls, c.SeqPageReads, c.RandPageReads, c.PageWrites,
+		c.TupleOps, time.Duration(c.WallNanos).Round(time.Microsecond), c.SimulatedSeconds(r))
+	if c.MemBytes > 0 {
+		fmt.Fprintf(b, " mem=%s", formatBytes(c.MemBytes))
+	}
+	if c.FaultsAbsorbed > 0 {
+		fmt.Fprintf(b, " faults-absorbed=%d", c.FaultsAbsorbed)
+	}
+	b.WriteString(")\n")
+	for _, ch := range s.Children {
+		ch.render(b, depth+1, r, seen)
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// OptimizerSpan is the telemetry of one optimization run: what the search
+// engine enumerated, what it pruned versus kept incomparable, what the
+// memo grew to, and what the produced plan looks like. It quantifies the
+// search-effort story of §3 (branch-and-bound erosion under interval
+// costs) and the plan-size story of Figure 6 in one machine-readable
+// structure.
+type OptimizerSpan struct {
+	// Goals is the number of distinct optimization goals the memo holds
+	// (the memo-size metric).
+	Goals int `json:"goals"`
+	// Candidates is the number of candidate implementations the rules
+	// fired across all goals.
+	Candidates int `json:"candidates"`
+	// PrunedByBound, PrunedDominated, PrunedEqual, and PrunedSampled
+	// decompose the candidates discarded, by mechanism.
+	PrunedByBound   int `json:"pruned_by_bound"`
+	PrunedDominated int `json:"pruned_dominated"`
+	PrunedEqual     int `json:"pruned_equal,omitempty"`
+	PrunedSampled   int `json:"pruned_sampled,omitempty"`
+	// KeptIncomparable is the number of plans retained beyond the first
+	// across all goals — the survivors whose cost intervals overlapped
+	// (or tied) and that choose-plan operators carry to start-up-time.
+	KeptIncomparable int `json:"kept_incomparable"`
+	// Comparisons is the number of interval cost comparisons performed.
+	Comparisons int `json:"comparisons"`
+	// ChoosePlansEmitted is the number of choose-plan operators the search
+	// inserted (one per goal with >1 survivor); PlanChoosePlans is how
+	// many remain reachable in the final plan DAG.
+	ChoosePlansEmitted int `json:"choose_plans_emitted"`
+	PlanChoosePlans    int `json:"plan_choose_plans"`
+	// PlanNodes is the number of distinct operator nodes in the produced
+	// plan, and EncodedAlternatives the number of complete static plans it
+	// encodes — Figure 6's series.
+	PlanNodes           int     `json:"plan_nodes"`
+	EncodedAlternatives float64 `json:"encoded_alternatives"`
+	// WallNanos is the optimization wall time.
+	WallNanos int64 `json:"wall_ns"`
+}
+
+// Render formats the span as a short human-readable report.
+func (s *OptimizerSpan) Render() string {
+	if s == nil {
+		return "optimizer span: not recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "optimizer span: %s\n", time.Duration(s.WallNanos))
+	fmt.Fprintf(&b, "  memo: %d goals, %d candidates, %d comparisons\n",
+		s.Goals, s.Candidates, s.Comparisons)
+	fmt.Fprintf(&b, "  pruned: %d by bound, %d dominated, %d equal, %d sampled; kept incomparable: %d\n",
+		s.PrunedByBound, s.PrunedDominated, s.PrunedEqual, s.PrunedSampled, s.KeptIncomparable)
+	fmt.Fprintf(&b, "  plan: %d nodes, %d choose-plans (%d emitted during search), %.0f alternatives encoded\n",
+		s.PlanNodes, s.PlanChoosePlans, s.ChoosePlansEmitted, s.EncodedAlternatives)
+	return b.String()
+}
+
+// AbortedCost is the sentinel recorded for a choose-plan alternative whose
+// cost evaluation was aborted by the start-up branch-and-bound before
+// completing (it provably could not be cheapest). JSON cannot carry ±Inf
+// or NaN, so traces use a negative cost instead.
+const AbortedCost = -1
+
+// ChoiceTrace records how one choose-plan operator was resolved at
+// start-up-time: the alternatives it offered, the predicted cost of each
+// under the activation's bindings (the interval endpoints collapse to
+// points once host variables are bound), which one the decision procedure
+// picked, and why.
+type ChoiceTrace struct {
+	// Operator is the choose-plan's label ("Choose-Plan (3 alternatives)").
+	Operator string `json:"operator"`
+	// Alternatives are the labels of the operators heading each branch, in
+	// the plan's order.
+	Alternatives []string `json:"alternatives"`
+	// Costs are the predicted execution costs (seconds) evaluated for each
+	// alternative; AbortedCost marks branches whose evaluation the
+	// start-up branch-and-bound cut short.
+	Costs []float64 `json:"costs"`
+	// Picked is the index of the selected alternative.
+	Picked int `json:"picked"`
+	// Reason explains the selection in one line.
+	Reason string `json:"reason"`
+}
+
+// NewChoice builds a ChoiceTrace with a generated reason: the picked
+// branch's cost against the best rejected branch, noting aborted
+// evaluations.
+func NewChoice(operator string, alternatives []string, costs []float64, picked int) ChoiceTrace {
+	t := ChoiceTrace{
+		Operator:     operator,
+		Alternatives: alternatives,
+		Costs:        costs,
+		Picked:       picked,
+	}
+	runnerUp := -1
+	aborted := 0
+	for i, c := range costs {
+		if i == picked {
+			continue
+		}
+		if c < 0 {
+			aborted++
+			continue
+		}
+		if runnerUp < 0 || c < costs[runnerUp] {
+			runnerUp = i
+		}
+	}
+	switch {
+	case picked < len(costs) && runnerUp >= 0:
+		t.Reason = fmt.Sprintf("predicted %.4gs vs runner-up %.4gs", costs[picked], costs[runnerUp])
+	case picked < len(costs):
+		t.Reason = fmt.Sprintf("predicted %.4gs; only completed evaluation", costs[picked])
+	default:
+		t.Reason = "no cost recorded"
+	}
+	if aborted > 0 {
+		t.Reason += fmt.Sprintf(" (%d evaluation(s) aborted by bound)", aborted)
+	}
+	return t
+}
+
+// RenderDecisions formats a start-up decision trace, one choose-plan per
+// block.
+func RenderDecisions(trace []ChoiceTrace) string {
+	if len(trace) == 0 {
+		return "start-up decisions: none (static plan)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "start-up decisions: %d choose-plan(s) resolved\n", len(trace))
+	for i, t := range trace {
+		fmt.Fprintf(&b, "  [%d] %s → alternative %d: %s\n", i+1, t.Operator, t.Picked+1, t.Reason)
+		for j, alt := range t.Alternatives {
+			mark := " "
+			if j == t.Picked {
+				mark = "*"
+			}
+			cost := "aborted"
+			if j < len(t.Costs) && t.Costs[j] >= 0 {
+				cost = fmt.Sprintf("%.4gs", t.Costs[j])
+			}
+			fmt.Fprintf(&b, "    %s %d. %-50s %s\n", mark, j+1, alt, cost)
+		}
+	}
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dynplan/internal/bindings"
+	"dynplan/internal/obs"
 	"dynplan/internal/physical"
 )
 
@@ -63,6 +64,11 @@ type StartupReport struct {
 	// The fallback executor passes these back through
 	// StartupOptions.Avoid after a branch fails mid-query.
 	Picked []*physical.Node
+	// Trace records, per resolved choose-plan in resolution order, the
+	// alternatives compared, the predicted cost of each under these
+	// bindings, and why the decision procedure picked the one it did —
+	// the start-up decision trace the observability layer renders.
+	Trace []obs.ChoiceTrace
 	// NodesEvaluated is the number of distinct plan nodes whose cost
 	// functions were evaluated; with branch-and-bound it can be smaller
 	// than the module's node count.
@@ -119,6 +125,7 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 	}
 
 	var nodesEvaluated int
+	var trace []obs.ChoiceTrace
 	var chooser func(n *physical.Node) (*physical.Node, float64)
 	if opt.BranchAndBound {
 		ev := newBBEvaluator(model, env)
@@ -126,20 +133,40 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 			return nil, fmt.Errorf("plan: start-up evaluation failed")
 		}
 		nodesEvaluated = ev.evaluated
-		chooser = ev.choose
+		chooser = func(n *physical.Node) (*physical.Node, float64) {
+			best, bestCost := ev.choose(n)
+			costs := make([]float64, len(n.Children))
+			picked := 0
+			for i, c := range n.Children {
+				// Aborted evaluations have no memoized cost; the trace
+				// marks them instead of inventing a number.
+				if r, ok := ev.memo[c]; ok {
+					costs[i] = r.Cost.Lo
+				} else {
+					costs[i] = obs.AbortedCost
+				}
+				if c == best {
+					picked = i
+				}
+			}
+			trace = append(trace, choiceTrace(n, costs, picked))
+			return best, bestCost
+		}
 	} else {
 		sess := model.NewSession(env)
 		sess.Evaluate(root)
 		nodesEvaluated = sess.EvaluatedNodes()
 		chooser = func(n *physical.Node) (*physical.Node, float64) {
-			best := n.Children[0]
-			bestCost := sess.Evaluate(best).Cost.Lo
-			for _, c := range n.Children[1:] {
-				if cc := sess.Evaluate(c).Cost.Lo; cc < bestCost {
-					best, bestCost = c, cc
+			costs := make([]float64, len(n.Children))
+			picked := 0
+			for i, c := range n.Children {
+				costs[i] = sess.Evaluate(c).Cost.Lo
+				if costs[i] < costs[picked] {
+					picked = i
 				}
 			}
-			return best, bestCost
+			trace = append(trace, choiceTrace(n, costs, picked))
+			return n.Children[picked], costs[picked]
 		}
 	}
 
@@ -169,11 +196,21 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 		ChosenCost:     chosenCost,
 		Decisions:      len(picked),
 		Picked:         picked,
+		Trace:          trace,
 		NodesEvaluated: nodesEvaluated,
 		SimCPUSeconds:  float64(nodesEvaluated) * opt.Params.StartupNodeTime,
 		SimIOSeconds:   m.ReadTime(opt.Params),
 		MeasuredCPU:    time.Since(began),
 	}, nil
+}
+
+// choiceTrace records one choose-plan resolution for the start-up trace.
+func choiceTrace(n *physical.Node, costs []float64, picked int) obs.ChoiceTrace {
+	labels := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		labels[i] = c.Label()
+	}
+	return obs.NewChoice(n.Label(), labels, costs, picked)
 }
 
 // resolve walks the DAG and replaces every choose-plan with the

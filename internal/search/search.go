@@ -33,6 +33,7 @@ import (
 	"dynplan/internal/cost"
 	"dynplan/internal/logical"
 	"dynplan/internal/memo"
+	"dynplan/internal/obs"
 	"dynplan/internal/physical"
 	"dynplan/internal/rules"
 )
@@ -116,13 +117,15 @@ type Stats struct {
 }
 
 // Result is the outcome of an optimization: the (possibly dynamic) plan,
-// its cost interval, and the effort statistics.
+// its cost interval, the effort statistics, and the machine-readable
+// optimizer span the observability layer exposes.
 type Result struct {
 	Plan  *physical.Node
 	Cost  cost.Cost
 	Card  cost.Range
 	Memo  *memo.Memo
 	Stats Stats
+	Span  *obs.OptimizerSpan
 }
 
 // Optimizer carries the state of one optimization run.
@@ -189,7 +192,31 @@ func Optimize(q *logical.Query, env *bindings.Env, cfg Config) (*Result, error) 
 	o.stats.Goals = o.memo.Len()
 	o.stats.LogicalAlternatives = q.LogicalAlternatives(q.AllRels())
 	o.stats.Elapsed = time.Since(start)
-	return &Result{Plan: w.Plan, Cost: w.Cost, Card: w.Card, Memo: o.memo, Stats: o.stats}, nil
+	return &Result{
+		Plan: w.Plan, Cost: w.Cost, Card: w.Card, Memo: o.memo, Stats: o.stats,
+		Span: o.span(w.Plan),
+	}, nil
+}
+
+// span assembles the optimizer span the observability layer exposes: the
+// memo's size, the enumeration and pruning tallies, and the shape of the
+// produced plan.
+func (o *Optimizer) span(plan *physical.Node) *obs.OptimizerSpan {
+	return &obs.OptimizerSpan{
+		Goals:               o.memo.Len(),
+		Candidates:          o.stats.Candidates,
+		PrunedByBound:       o.stats.PrunedByBound,
+		PrunedDominated:     o.stats.PrunedDominated,
+		PrunedEqual:         o.stats.PrunedEqual,
+		PrunedSampled:       o.stats.PrunedSampled,
+		KeptIncomparable:    o.memo.ExtraAlternatives(),
+		Comparisons:         o.stats.Comparisons,
+		ChoosePlansEmitted:  o.stats.ChoosePlans,
+		PlanChoosePlans:     plan.CountChoosePlans(),
+		PlanNodes:           plan.CountNodes(),
+		EncodedAlternatives: plan.Alternatives(),
+		WallNanos:           o.stats.Elapsed.Nanoseconds(),
+	}
 }
 
 // candidatePlan is a fully costed candidate awaiting the pruning pass.

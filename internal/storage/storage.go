@@ -80,6 +80,33 @@ func (a *Accountant) PageWrites() int64 { return a.pageWrites.Load() }
 // TupleOps returns the per-tuple CPU operations charged so far.
 func (a *Accountant) TupleOps() int64 { return a.tuples.Load() }
 
+// AccountSnapshot is a point-in-time copy of an accountant's counters,
+// used to attribute deltas of work to an interval (the metering iterators
+// snapshot around every operator call).
+type AccountSnapshot struct {
+	SeqPageReads, RandPageReads, PageWrites, TupleOps int64
+}
+
+// Snapshot captures the current counter values.
+func (a *Accountant) Snapshot() AccountSnapshot {
+	return AccountSnapshot{
+		SeqPageReads:  a.SeqPageReads(),
+		RandPageReads: a.RandPageReads(),
+		PageWrites:    a.PageWrites(),
+		TupleOps:      a.TupleOps(),
+	}
+}
+
+// Sub returns the work done between an earlier snapshot and this one.
+func (s AccountSnapshot) Sub(earlier AccountSnapshot) AccountSnapshot {
+	return AccountSnapshot{
+		SeqPageReads:  s.SeqPageReads - earlier.SeqPageReads,
+		RandPageReads: s.RandPageReads - earlier.RandPageReads,
+		PageWrites:    s.PageWrites - earlier.PageWrites,
+		TupleOps:      s.TupleOps - earlier.TupleOps,
+	}
+}
+
 // Reset zeroes all counters.
 func (a *Accountant) Reset() {
 	a.seqPageReads.Store(0)

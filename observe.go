@@ -1,0 +1,99 @@
+package dynplan
+
+import (
+	"fmt"
+
+	"dynplan/internal/obs"
+)
+
+// The observability layer's types, re-exported for callers outside the
+// module's internal tree. See internal/obs for the full documentation.
+type (
+	// PlanStats is the per-operator stats tree of an observed execution,
+	// parallel to the executed physical plan.
+	PlanStats = obs.PlanStats
+	// OpCounters is one operator's runtime tally (rows, Next calls, page
+	// I/O, tuple work, wall time, memory high-water, faults absorbed).
+	OpCounters = obs.Counters
+	// OptimizerSpan is the telemetry of one optimization run: memo size,
+	// candidates enumerated, plans pruned versus kept incomparable,
+	// choose-plans emitted, and produced plan shape.
+	OptimizerSpan = obs.OptimizerSpan
+	// ChoiceTrace records how one choose-plan operator was resolved at
+	// start-up-time and why.
+	ChoiceTrace = obs.ChoiceTrace
+	// RunRecord is the machine-readable JSON record of one measured run,
+	// the unit the CI benchmark pipeline diffs (BENCH_<name>.json).
+	RunRecord = obs.RunRecord
+)
+
+// EnableObservability installs a per-operator metrics collector on the
+// database: subsequent Execute* calls populate ExecResult.Operators with a
+// stats tree parallel to the executed plan, rendered by
+// ExecResult.ExplainAnalyze. Collection meters every iterator call; when
+// disabled (the default) the hooks reduce to one nil check per compiled
+// operator and allocate nothing.
+func (db *Database) EnableObservability() {
+	db.collector = obs.NewCollector()
+}
+
+// DisableObservability removes the collector; Execute* calls stop
+// populating per-operator stats.
+func (db *Database) DisableObservability() { db.collector = nil }
+
+// Observing reports whether a collector is installed.
+func (db *Database) Observing() bool { return db.collector.Enabled() }
+
+// ExplainAnalyze renders the executed plan annotated with the observed
+// per-operator metrics — rows produced, page I/O, tuple work, wall and
+// simulated time, buffered memory — followed by the execution's totals.
+// I/O and time figures are inclusive of each operator's inputs; rows are
+// the operator's own output. The database must have had observability
+// enabled when the plan ran; otherwise a note says so.
+func (r *ExecResult) ExplainAnalyze(p Params) string {
+	if r.Operators == nil {
+		return "EXPLAIN ANALYZE: no operator stats collected (call Database.EnableObservability before executing)\n"
+	}
+	rates := obs.CostRates{
+		SeqPage:  p.SeqPageTime,
+		RandPage: p.RandIOTime,
+		Write:    p.SeqPageTime,
+		Tuple:    p.TupleCPUTime,
+	}
+	out := r.Operators.Render(rates)
+	out += fmt.Sprintf("Totals: rows=%d seq=%d rand=%d write=%d tuples=%d sim=%.4gs",
+		len(r.Rows), r.SeqPageReads, r.RandPageReads, r.PageWrites, r.TupleOps,
+		r.SimulatedSeconds(p))
+	if r.Retries > 0 {
+		out += fmt.Sprintf(" retries=%d", r.Retries)
+	}
+	if r.FaultsAbsorbed > 0 {
+		out += fmt.Sprintf(" faults-absorbed=%d", r.FaultsAbsorbed)
+	}
+	out += "\n"
+	if len(r.Decisions) > 0 {
+		out += obs.RenderDecisions(r.Decisions)
+	}
+	return out
+}
+
+// RunRecordFor packages the execution into a machine-readable run record:
+// the observed plan shape with per-operator counters (when observability
+// was enabled), the start-up decisions, the I/O account as metrics, and
+// the simulated cost as the CI-gated total.
+func (r *ExecResult) RunRecordFor(name, query string, p Params) *RunRecord {
+	return &RunRecord{
+		Name:  name,
+		Query: query,
+		Metrics: map[string]float64{
+			"rows":            float64(len(r.Rows)),
+			"seq-page-reads":  float64(r.SeqPageReads),
+			"rand-page-reads": float64(r.RandPageReads),
+			"page-writes":     float64(r.PageWrites),
+			"tuple-ops":       float64(r.TupleOps),
+		},
+		SimCostTotal: r.SimulatedSeconds(p),
+		Operators:    r.Operators,
+		Decisions:    r.Decisions,
+	}
+}

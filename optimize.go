@@ -6,6 +6,7 @@ import (
 
 	"dynplan/internal/bindings"
 	"dynplan/internal/cost"
+	"dynplan/internal/obs"
 	"dynplan/internal/physical"
 	"dynplan/internal/plan"
 	"dynplan/internal/runtimeopt"
@@ -118,6 +119,13 @@ func runtimeEnvForPlan(p *Plan) *bindings.Env {
 
 // Stats returns the search-effort statistics of the optimization.
 func (p *Plan) Stats() search.Stats { return p.res.Stats }
+
+// Trace returns the optimizer span of the optimization that produced this
+// plan: memo size, candidates enumerated, plans pruned versus kept
+// incomparable, choose-plan operators emitted, and the produced plan's
+// shape — the observability layer's machine-readable counterpart of
+// Stats.
+func (p *Plan) Trace() *OptimizerSpan { return p.res.Span }
 
 // Root exposes the physical plan DAG (advanced use).
 func (p *Plan) Root() *physical.Node { return p.res.Plan }
@@ -298,6 +306,14 @@ func (a *Activation) PredictedCost() float64 { return a.report.ChosenCost }
 
 // Decisions returns the number of choose-plan operators resolved.
 func (a *Activation) Decisions() int { return a.report.Decisions }
+
+// DecisionTrace returns the start-up decision trace: per choose-plan
+// operator resolved, the alternatives compared, the predicted cost of
+// each under the activation's bindings, the branch picked, and why.
+func (a *Activation) DecisionTrace() []ChoiceTrace { return a.report.Trace }
+
+// ExplainDecisions renders the start-up decision trace as text.
+func (a *Activation) ExplainDecisions() string { return obs.RenderDecisions(a.report.Trace) }
 
 // NodesEvaluated returns how many distinct plan nodes had their cost
 // functions evaluated during start-up.

@@ -104,6 +104,9 @@ func (db *Database) ExecuteResilient(ctx context.Context, m *Module, b Bindings,
 			res.BranchSwitched = branchSwitched
 			res.FaultsAbsorbed = db.faults.Stats().Absorbed - absorbedBase
 			res.EffectiveMemoryPages = mem * db.faults.MemoryScale()
+			// The successful attempt's start-up decision trace: which
+			// choose-plan branches this execution actually ran and why.
+			res.Decisions = rep.Trace
 			return res, nil
 		}
 		if qerr.Canceled(err) {
