@@ -8,6 +8,7 @@ import (
 
 	"dynplan/internal/adaptive"
 	"dynplan/internal/exec"
+	"dynplan/internal/obs"
 	"dynplan/internal/physical"
 	"dynplan/internal/storage"
 )
@@ -74,14 +75,19 @@ func (db *Database) ExecuteAdaptive(p *Plan, b Bindings) (*AdaptiveResult, error
 // exempt.
 func (db *Database) ExecuteAdaptiveContext(ctx context.Context, p *Plan, b Bindings) (*AdaptiveResult, error) {
 	acc := &storage.Accountant{}
+	var collector *obs.Collector
+	if db.observing.Load() {
+		collector = obs.NewCollector()
+	}
 	e := &exec.DB{
 		Catalog: db.sys.cat,
 		Store:   db.store,
 		Indexes: db.indexes,
 		Acc:     acc,
 		Ctx:     ctx,
-		Faults:  db.faults,
-		Obs:     db.collector,
+		Faults:  db.injector(),
+		Obs:     collector,
+		Wrap:    db.wrap,
 	}
 	res, err := adaptive.Run(e, p.Root(), b.internal(), adaptive.Options{Params: db.sys.params})
 	if err != nil {

@@ -1,0 +1,238 @@
+package dynplan
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dynplan/internal/exec"
+	"dynplan/internal/harness"
+)
+
+// TestChaosSoak is the acceptance scenario for the resource governor:
+// eight client goroutines hammer one Database with a randomized query mix
+// under seeded fault injection while the memory grant pool shrinks, and
+// every admitted query must return exactly the rows of the unconstrained
+// reference execution. Rejections must be typed ErrAdmission (or a
+// deadline), the grant pool must drain to zero outstanding pages, no
+// iterator may leak, and no goroutine may outlive the soak. Fixed seeds
+// make the whole run reproducible; -short trims the iteration count, not
+// the concurrency.
+func TestChaosSoak(t *testing.T) {
+	const (
+		workers   = 8
+		maxConc   = 6
+		poolStart = 256.0
+		poolFloor = 128.0 // ≥ maxConc × minGrant: grants stay satisfiable
+		minGrant  = 16.0
+	)
+	iterations := 25
+	if testing.Short() {
+		iterations = 8
+	}
+
+	sys, q := resilChainSystem(t, 3)
+	dyn, err := sys.OptimizeDynamic(q, Uncertainty{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.ChoosePlanCount() == 0 {
+		t.Fatal("soak plan has no choose-plans; the scenario is vacuous")
+	}
+	mod, err := dyn.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := resilDatabase(t, sys)
+	lc := exec.NewLeakChecker()
+	db.wrap = lc.Wrap
+
+	// Reference digests from unconstrained executions: no faults, no
+	// governor, the full requested grant. canonical() normalizes row order
+	// and column layout, which legitimately differ when pressure forces a
+	// different choose-plan branch.
+	pol := func(seed int64) RetryPolicy {
+		return RetryPolicy{
+			MaxAttempts: 80,
+			Backoff:     100 * time.Microsecond,
+			MaxBackoff:  time.Millisecond,
+			JitterSeed:  seed,
+		}
+	}
+	mixes := []struct {
+		name     string
+		sel, mem float64
+	}{
+		{"sel-lo/mem-hi", 0.2, 96},
+		{"sel-mid/mem-mid", 0.5, 64},
+		{"sel-hi/mem-lo", 0.8, 48},
+	}
+	var queries []harness.ChaosQuery
+	for _, m := range mixes {
+		ref, err := db.ExecuteResilient(context.Background(), mod, resilBindings(3, m.sel, m.mem), RetryPolicy{})
+		if err != nil {
+			t.Fatalf("%s: reference run failed: %v", m.name, err)
+		}
+		m := m
+		queries = append(queries, harness.ChaosQuery{
+			Name:      m.name,
+			Reference: strings.Join(canonical(ref), "\n"),
+			Run: func(ctx context.Context, seed int64) (string, error) {
+				res, err := db.ExecuteGoverned(ctx, mod, resilBindings(3, m.sel, m.mem), pol(seed))
+				if err != nil {
+					return "", err
+				}
+				return strings.Join(canonical(res), "\n"), nil
+			},
+		})
+	}
+
+	before := harness.StableGoroutines()
+	db.SetGovernor(GovernorConfig{
+		TotalPages:    poolStart,
+		MinGrantPages: minGrant,
+		MaxConcurrent: maxConc,
+		MaxQueued:     4,
+		QueueTimeout:  250 * time.Millisecond,
+		Deadline:      10 * time.Second,
+	})
+	// Transient faults only: every admitted query must recover via the
+	// resilient executor; permanent-fault steering has its own tests.
+	db.InjectFaults(FaultConfig{Seed: 7, TransientRate: 0.15})
+	defer db.ClearFaults()
+
+	rep, err := harness.Soak(context.Background(), harness.ChaosConfig{
+		Seed:       1,
+		Workers:    workers,
+		Iterations: iterations,
+		Queries:    queries,
+		Shrink: func(f float64) {
+			db.ResizeMemoryPool(poolStart - f*(poolStart-poolFloor))
+		},
+		Rejected: func(err error) bool {
+			return errors.Is(err, ErrAdmission) || IsCanceled(err)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Succeeded + rep.Rejected; got != workers*iterations {
+		t.Errorf("accounted executions = %d, want %d", got, workers*iterations)
+	}
+	t.Logf("%s; faults injected: %d", rep, db.FaultStats().Injected)
+	if db.FaultStats().Injected == 0 {
+		t.Error("no faults were injected; the soak is vacuous")
+	}
+
+	// Resource invariants after the dust settles.
+	if got := db.OutstandingGrantPages(); got != 0 {
+		t.Errorf("outstanding grant pages = %v, want 0", got)
+	}
+	s := db.GovernorStats()
+	if s.InFlight != 0 || s.Queued != 0 {
+		t.Errorf("governor still busy: inFlight=%d queued=%d", s.InFlight, s.Queued)
+	}
+	if s.Admitted != s.Completed {
+		t.Errorf("admitted %d != completed %d: a ticket was not released", s.Admitted, s.Completed)
+	}
+	// Every rejection is either a governor shed (never admitted) or a
+	// deadline kill of an admitted query, so the two books must balance:
+	// admitted − succeeded = rejected − sheds.
+	if s.Admitted-int64(rep.Succeeded) != int64(rep.Rejected)-(s.ShedQueueFull+s.ShedTimeout) {
+		t.Errorf("admission books disagree: admitted=%d succeeded=%d rejected=%d sheds=%d",
+			s.Admitted, rep.Succeeded, rep.Rejected, s.ShedQueueFull+s.ShedTimeout)
+	}
+	if leaked := lc.Leaked(); len(leaked) > 0 {
+		t.Errorf("leaked iterators: %v", leaked)
+	}
+	if after := harness.StableGoroutines(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d", before, after)
+	}
+}
+
+// TestChaosSoakSheds squeezes the governor until it must reject — one
+// execution slot, a one-deep queue, a near-zero wait budget — and checks
+// that every rejection is typed ErrAdmission (the harness's Rejected hook
+// accepts nothing else, so an untyped rejection fails the soak), that
+// queries still succeed under the squeeze, and that the resource
+// invariants survive heavy shedding.
+func TestChaosSoakSheds(t *testing.T) {
+	sys, q := resilChainSystem(t, 2)
+	dyn, err := sys.OptimizeDynamic(q, Uncertainty{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := dyn.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := resilDatabase(t, sys)
+
+	b := resilBindings(2, 0.5, 64)
+	ref, err := db.ExecuteResilient(context.Background(), mod, b, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetGovernor(GovernorConfig{
+		TotalPages:    64,
+		MinGrantPages: 8,
+		MaxConcurrent: 1,
+		MaxQueued:     1,
+		QueueTimeout:  5 * time.Millisecond,
+	})
+	// Transient faults plus multi-millisecond backoffs stretch each
+	// execution well past the queue-wait budget, so with one slot and a
+	// one-deep queue the eight workers must overlap and the governor must
+	// shed — regardless of how fast the machine runs the query itself.
+	db.InjectFaults(FaultConfig{Seed: 11, TransientRate: 0.3})
+	defer db.ClearFaults()
+
+	rep, err := harness.Soak(context.Background(), harness.ChaosConfig{
+		Seed:       3,
+		Workers:    8,
+		Iterations: 6,
+		Queries: []harness.ChaosQuery{{
+			Name:      "squeezed",
+			Reference: strings.Join(canonical(ref), "\n"),
+			Run: func(ctx context.Context, seed int64) (string, error) {
+				res, err := db.ExecuteGoverned(ctx, mod, b, RetryPolicy{
+					MaxAttempts: 60,
+					Backoff:     2 * time.Millisecond,
+					MaxBackoff:  4 * time.Millisecond,
+					JitterSeed:  seed,
+				})
+				if err != nil {
+					return "", err
+				}
+				return strings.Join(canonical(res), "\n"), nil
+			},
+		}},
+		Rejected: func(err error) bool { return errors.Is(err, ErrAdmission) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected == 0 {
+		t.Error("squeezed governor shed nothing; the scenario is vacuous")
+	}
+	t.Log(rep)
+
+	s := db.GovernorStats()
+	if s.ShedQueueFull+s.ShedTimeout != int64(rep.Rejected) {
+		t.Errorf("governor sheds %d != rejected %d", s.ShedQueueFull+s.ShedTimeout, rep.Rejected)
+	}
+	if got := db.OutstandingGrantPages(); got != 0 {
+		t.Errorf("outstanding grant pages = %v, want 0", got)
+	}
+	if s.Admitted != s.Completed {
+		t.Errorf("admitted %d != completed %d", s.Admitted, s.Completed)
+	}
+}

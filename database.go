@@ -4,9 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"dynplan/internal/btree"
 	"dynplan/internal/exec"
+	"dynplan/internal/governor"
 	"dynplan/internal/obs"
 	"dynplan/internal/physical"
 	"dynplan/internal/stats"
@@ -15,16 +18,33 @@ import (
 
 // Database is a populated instance of the system's catalog: tables,
 // indexes, and the simulated-I/O accounting needed to actually run plans.
+//
+// A Database is safe for concurrent Execute* calls once loaded: tables
+// and indexes are read-only at query time, every execution gets its own
+// accountant and metrics window, and the shared fault injector and
+// resource governor are internally synchronized. Loading (Insert,
+// GenerateData, BuildIndexes) must complete before queries start.
 type Database struct {
 	sys        *System
 	store      *storage.Store
 	indexes    map[string]map[string]*btree.Tree
 	loaded     map[string]bool
 	histograms map[string]map[string]*stats.Histogram
-	faults     *storage.Injector
-	// collector, when non-nil, meters every executed operator; see
-	// EnableObservability.
-	collector *obs.Collector
+	// faults holds the installed fault injector; atomic because
+	// InjectFaults/ClearFaults may race with in-flight executions, which
+	// snapshot the pointer once and use that injector throughout.
+	faults atomic.Pointer[storage.Injector]
+	// observing enables per-operator metrics; each execution collects into
+	// its own window, so concurrent queries never share counters.
+	observing atomic.Bool
+	// gov, when non-nil, governs admission and memory grants for
+	// ExecuteGoverned; breaker is the per-relation circuit breaker
+	// ExecuteResilient consults. Both are internally synchronized.
+	gov     *governor.Governor
+	breaker *governor.Breaker
+	// wrap, when non-nil, decorates every compiled iterator (the
+	// leak-checking hook of the chaos harness; see exec.LeakChecker).
+	wrap func(exec.Iterator, *physical.Node) exec.Iterator
 }
 
 // FaultConfig parameterizes deterministic fault injection on base-table
@@ -42,15 +62,20 @@ type FaultStats = storage.FaultStats
 // plus ErrTransientIO or ErrPermanentIO. Subsequent Execute* calls run
 // through the injector until ClearFaults.
 func (db *Database) InjectFaults(cfg FaultConfig) {
-	db.faults = storage.NewInjector(cfg)
+	db.faults.Store(storage.NewInjector(cfg))
 }
 
 // ClearFaults removes the fault injector.
-func (db *Database) ClearFaults() { db.faults = nil }
+func (db *Database) ClearFaults() { db.faults.Store(nil) }
+
+// injector returns the currently installed fault injector (nil when none);
+// executions snapshot it once so a concurrent InjectFaults/ClearFaults
+// cannot change the substrate mid-query.
+func (db *Database) injector() *storage.Injector { return db.faults.Load() }
 
 // FaultStats returns a snapshot of the injector's counters; the zero
 // value when no injector is installed.
-func (db *Database) FaultStats() FaultStats { return db.faults.Stats() }
+func (db *Database) FaultStats() FaultStats { return db.injector().Stats() }
 
 // OpenDatabase creates an empty database for the system's catalog. Load
 // rows with Insert (or GenerateData) and call BuildIndexes before
@@ -155,14 +180,26 @@ type ExecResult struct {
 	// memory-shrink event forced a downgrade.
 	EffectiveMemoryPages float64
 
+	// Backoffs records, per retry ExecuteResilient performed, the pause it
+	// slept before that retry (empty outside ExecuteResilient or when the
+	// policy has no backoff); BackoffTotal is their sum.
+	Backoffs     []time.Duration
+	BackoffTotal time.Duration
+
+	// Admission carries the resource-governor account of the execution —
+	// requested versus granted pages, queue wait, and the governor's shed
+	// counters at completion; nil outside ExecuteGoverned.
+	Admission *obs.AdmissionStats
+
 	// Operators is the per-operator stats tree of the execution, parallel
 	// to the executed plan; nil unless the database had observability
 	// enabled (EnableObservability). Render it with ExplainAnalyze.
 	Operators *obs.PlanStats
 	// Decisions is the start-up decision trace of the activation that
 	// produced the executed plan, when the execution path carries one
-	// (ExecuteResilient attaches it; for explicit activations use
-	// Activation.DecisionTrace).
+	// (ExecuteResilient attaches it, including one entry per retry
+	// describing the recovery decision and backoff; for explicit
+	// activations use Activation.DecisionTrace).
 	Decisions []obs.ChoiceTrace
 }
 
@@ -188,18 +225,25 @@ func (db *Database) Execute(root *physical.Node, b Bindings) (*ExecResult, error
 // base-table page reads run through it.
 func (db *Database) ExecuteContext(ctx context.Context, root *physical.Node, b Bindings) (*ExecResult, error) {
 	acc := &storage.Accountant{}
-	// Each execution collects into a fresh window: the stats tree
-	// describes this run, not the collector's lifetime.
-	db.collector.Reset()
+	// Each execution collects into its own fresh window: the stats tree
+	// describes this run, and concurrent executions of the same plan never
+	// share counters. The injector pointer is snapshotted once, so a
+	// concurrent InjectFaults/ClearFaults cannot swap it mid-query.
+	var collector *obs.Collector
+	if db.observing.Load() {
+		collector = obs.NewCollector()
+	}
+	inj := db.injector()
 	e := &exec.DB{
 		Catalog: db.sys.cat,
 		Store:   db.store,
 		Indexes: db.indexes,
 		Acc:     acc,
-		Faults:  db.faults,
-		Obs:     db.collector,
+		Faults:  inj,
+		Obs:     collector,
+		Wrap:    db.wrap,
 	}
-	absorbedBefore := db.faults.Stats().Absorbed
+	absorbedBefore := inj.Stats().Absorbed
 	rows, schema, err := e.RunContext(ctx, root, b.internal())
 	if err != nil {
 		return nil, err
@@ -210,9 +254,9 @@ func (db *Database) ExecuteContext(ctx context.Context, root *physical.Node, b B
 		RandPageReads:        acc.RandPageReads(),
 		PageWrites:           acc.PageWrites(),
 		TupleOps:             acc.TupleOps(),
-		FaultsAbsorbed:       db.faults.Stats().Absorbed - absorbedBefore,
-		EffectiveMemoryPages: b.MemoryPages * db.faults.MemoryScale(),
-		Operators:            db.collector.Tree(root),
+		FaultsAbsorbed:       inj.Stats().Absorbed - absorbedBefore,
+		EffectiveMemoryPages: b.MemoryPages * inj.MemoryScale(),
+		Operators:            collector.Tree(root),
 	}
 	out.Rows = make([][]int64, len(rows))
 	for i, r := range rows {

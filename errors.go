@@ -28,6 +28,15 @@ var (
 	// ErrOperatorPanic reports an operator panic converted to an error at
 	// the executor boundary.
 	ErrOperatorPanic = qerr.ErrOperatorPanic
+	// ErrAdmission reports that the resource governor refused the query —
+	// the admission queue was full, or the wait for an execution slot or a
+	// memory grant timed out. The query never started; resubmitting under
+	// lighter load is expected to succeed.
+	ErrAdmission = qerr.ErrAdmission
+	// ErrCircuitOpen reports that open per-relation circuit breakers
+	// excluded every alternative of the plan, so resilient execution failed
+	// fast rather than re-probing a poisoned access path.
+	ErrCircuitOpen = qerr.ErrCircuitOpen
 )
 
 // IsRetryable reports whether re-executing can plausibly succeed:
@@ -44,3 +53,8 @@ func IsCanceled(err error) bool { return qerr.Canceled(err) }
 // carries no operator — cancellation, for example, is a property of the
 // whole execution, never of one operator.
 func FailedOperator(err error) string { return qerr.Operator(err) }
+
+// FailedRelation returns the base relation a failure was raised at, or ""
+// when the error carries none. The resilient executor uses the same
+// attribution to charge per-relation circuit breakers.
+func FailedRelation(err error) string { return qerr.Relation(err) }

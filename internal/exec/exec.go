@@ -195,7 +195,7 @@ func (db *DB) Build(n *physical.Node, b *bindings.Bindings) (Iterator, Schema, e
 	if db.Obs.Enabled() {
 		it = newMeter(db, it, db.Obs.StatsFor(n))
 	}
-	it = &guardIter{inner: it, op: n.Label()}
+	it = &guardIter{inner: it, op: n.Label(), rel: n.Rel}
 	if db.Wrap != nil {
 		it = db.Wrap(it, n)
 	}

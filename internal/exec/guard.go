@@ -6,27 +6,29 @@ import (
 )
 
 // guardIter decorates every compiled operator: any error escaping Open,
-// Next, or Close is wrapped in a qerr.OpError naming the plan node, so a
-// mid-query failure reports the operator that raised it. The innermost
-// (deepest) operator wins — qerr.At never overrides an existing OpError —
-// which is the operator closest to the actual fault.
+// Next, or Close is wrapped in a qerr.OpError naming the plan node (and
+// the base relation it reads, when it reads one), so a mid-query failure
+// reports the operator that raised it. The innermost (deepest) operator
+// wins — qerr.AtRel never overrides an existing OpError — which is the
+// operator closest to the actual fault.
 type guardIter struct {
 	inner Iterator
 	op    string
+	rel   string
 }
 
 func (g *guardIter) Open() error {
-	return qerr.At(g.op, g.inner.Open())
+	return qerr.AtRel(g.op, g.rel, g.inner.Open())
 }
 
 func (g *guardIter) Next() (storage.Row, bool, error) {
 	row, ok, err := g.inner.Next()
 	if err != nil {
-		return nil, false, qerr.At(g.op, err)
+		return nil, false, qerr.AtRel(g.op, g.rel, err)
 	}
 	return row, ok, nil
 }
 
 func (g *guardIter) Close() error {
-	return qerr.At(g.op, g.inner.Close())
+	return qerr.AtRel(g.op, g.rel, g.inner.Close())
 }

@@ -1,0 +1,179 @@
+package governor
+
+import (
+	"sort"
+	"sync"
+)
+
+// Breaker is a per-relation circuit breaker: repeated permanent faults on
+// one base relation open its circuit, and subsequent executions avoid plan
+// alternatives that read the relation instead of burning retries against a
+// poisoned access path. The state machine is deliberately clock-free —
+// cooldown is counted in blocked executions, not wall time — so breaker
+// behavior is deterministic under seeded test workloads.
+//
+// Per relation:
+//
+//	closed --(Threshold consecutive permanent failures)--> open
+//	open   --(Cooldown executions blocked)--------------> half-open
+//	half-open: probes are allowed through; a success closes the circuit,
+//	           a failure re-opens it and restarts the cooldown.
+//
+// All methods are safe for concurrent use; a nil *Breaker never blocks.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  int
+	state     map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	consecFails int
+	open        bool
+	halfOpen    bool
+	blocked     int // executions blocked since the circuit opened
+	trips       int64
+}
+
+// NewBreaker creates a breaker that opens a relation's circuit after
+// threshold consecutive permanent failures (default 3) and half-opens it
+// after cooldown blocked executions (default 8).
+func NewBreaker(threshold, cooldown int) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 8
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, state: make(map[string]*breakerEntry)}
+}
+
+func (b *Breaker) entry(rel string) *breakerEntry {
+	e, ok := b.state[rel]
+	if !ok {
+		e = &breakerEntry{}
+		b.state[rel] = e
+	}
+	return e
+}
+
+// Blocked reports whether executions should currently avoid the relation,
+// counting one blocked execution toward the cooldown when it does. After
+// the cooldown the circuit half-opens and probes pass through.
+func (b *Breaker) Blocked(rel string) bool {
+	if b == nil || rel == "" {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.state[rel]
+	if !ok || !e.open {
+		return false
+	}
+	if e.halfOpen {
+		return false
+	}
+	e.blocked++
+	if e.blocked >= b.cooldown {
+		e.halfOpen = true
+	}
+	return true
+}
+
+// BlockedSet returns the subset of rels whose circuits currently block
+// execution, counting cooldown progress once per relation.
+func (b *Breaker) BlockedSet(rels []string) map[string]bool {
+	if b == nil {
+		return nil
+	}
+	var out map[string]bool
+	for _, r := range rels {
+		if b.Blocked(r) {
+			if out == nil {
+				out = make(map[string]bool)
+			}
+			out[r] = true
+		}
+	}
+	return out
+}
+
+// RecordFailure records a permanent fault attributed to the relation;
+// reaching the threshold (or failing a half-open probe) opens the circuit.
+func (b *Breaker) RecordFailure(rel string) {
+	if b == nil || rel == "" {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(rel)
+	e.consecFails++
+	if e.open {
+		if e.halfOpen {
+			// Failed probe: re-open and restart the cooldown.
+			e.halfOpen = false
+			e.blocked = 0
+			e.trips++
+		}
+		return
+	}
+	if e.consecFails >= b.threshold {
+		e.open = true
+		e.halfOpen = false
+		e.blocked = 0
+		e.trips++
+	}
+}
+
+// RecordSuccess records a fault-free execution that read the relation; it
+// closes an open circuit (successful half-open probe) and resets the
+// consecutive-failure count.
+func (b *Breaker) RecordSuccess(rel string) {
+	if b == nil || rel == "" {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.state[rel]
+	if !ok {
+		return
+	}
+	e.consecFails = 0
+	e.open = false
+	e.halfOpen = false
+	e.blocked = 0
+}
+
+// Open reports whether the relation's circuit is currently open, without
+// advancing the cooldown.
+func (b *Breaker) Open(rel string) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.state[rel]
+	return ok && e.open && !e.halfOpen
+}
+
+// Trips returns the total number of circuit openings per relation, sorted
+// by relation name — the breaker's observable history.
+func (b *Breaker) Trips() map[string]int64 {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int64, len(b.state))
+	rels := make([]string, 0, len(b.state))
+	for r := range b.state {
+		rels = append(rels, r)
+	}
+	sort.Strings(rels)
+	for _, r := range rels {
+		if t := b.state[r].trips; t > 0 {
+			out[r] = t
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+// Package governor is the concurrency-safe resource governor that sits
+// between the database and the executor: a memory grant broker, admission
+// control with a bounded queue and load shedding, per-query deadlines, and
+// a per-relation circuit breaker.
+//
+// The paper's dynamic plans defer the memory binding to start-up-time
+// (§4); choose-plan operators exist precisely so a plan can degrade
+// gracefully when buffer pages are scarce (§6.2). Under concurrent
+// traffic, "the memory available at start-up" is whatever the governor
+// can grant at that moment: queries are admitted up to a concurrency
+// limit, queue briefly beyond it, are shed with a typed error when the
+// queue is full or the wait budget expires, and receive a memory grant
+// the broker may degrade below the request — which the activation bindings
+// then carry into choose-plan resolution.
+package governor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dynplan/internal/qerr"
+)
+
+// Config parameterizes a Governor. The zero value of any knob selects its
+// default.
+type Config struct {
+	// TotalPages is the memory grant pool shared by all running queries
+	// (default 256).
+	TotalPages float64
+	// MinGrantPages is the smallest grant the broker will issue; a query
+	// asking for more may be degraded down to this floor under pressure,
+	// never below (default 8, clamped to the request when the request is
+	// smaller).
+	MinGrantPages float64
+	// MaxConcurrent is how many queries may execute at once (default 8).
+	MaxConcurrent int
+	// MaxQueued is how many admitted-but-waiting queries may queue beyond
+	// the executing set before further arrivals are shed (default
+	// 2×MaxConcurrent).
+	MaxQueued int
+	// QueueTimeout bounds the wait for an execution slot and, separately,
+	// the wait for a memory grant; on expiry the query is shed with an
+	// error wrapping qerr.ErrAdmission (default 1s).
+	QueueTimeout time.Duration
+	// Deadline, when positive, is the per-query execution deadline applied
+	// to the context returned by Acquire; expiry surfaces as
+	// qerr.ErrDeadlineExceeded through the usual context plumbing.
+	Deadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.TotalPages <= 0 {
+		c.TotalPages = 256
+	}
+	if c.MinGrantPages <= 0 {
+		c.MinGrantPages = 8
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 2 * c.MaxConcurrent
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	return c
+}
+
+// Stats is a snapshot of the governor's counters.
+type Stats struct {
+	// Admitted counts queries that received a slot and a grant; Completed
+	// those that released their ticket.
+	Admitted, Completed int64
+	// ShedQueueFull counts arrivals rejected because the queue was at
+	// MaxQueued; ShedTimeout counts queued queries whose slot or grant
+	// wait expired. Both fail with qerr.ErrAdmission.
+	ShedQueueFull, ShedTimeout int64
+	// InFlight and Queued are the current occupancy; QueueHighWater the
+	// deepest queue ever observed.
+	InFlight, Queued, QueueHighWater int
+	// QueueWaitTotal is the cumulative time admitted queries spent queued.
+	QueueWaitTotal time.Duration
+	// Broker is the grant broker's snapshot.
+	Broker BrokerStats
+}
+
+// Governor enforces admission control and brokers memory grants. Create
+// one with New; all methods are safe for concurrent use.
+type Governor struct {
+	cfg    Config
+	broker *Broker
+	slots  chan struct{}
+
+	mu             sync.Mutex
+	queued         int
+	queueHighWater int
+	inFlight       int
+	admitted       int64
+	completed      int64
+	shedQueueFull  int64
+	shedTimeout    int64
+	queueWaitTotal time.Duration
+}
+
+// New creates a governor from the config.
+func New(cfg Config) *Governor {
+	cfg = cfg.withDefaults()
+	g := &Governor{
+		cfg:    cfg,
+		broker: NewBroker(cfg.TotalPages),
+		slots:  make(chan struct{}, cfg.MaxConcurrent),
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// Ticket is one admitted query's claim on the governor: an execution slot
+// plus a memory grant. Release it exactly once, on every path.
+type Ticket struct {
+	// Pages is the granted memory, possibly degraded below the request.
+	Pages float64
+	// Requested is what the query asked for.
+	Requested float64
+	// Wait is the time spent queued before admission (slot plus grant).
+	Wait time.Duration
+	// Degraded reports Pages < Requested.
+	Degraded bool
+
+	g      *Governor
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+// Acquire admits a query and grants it memory: it waits (bounded by
+// QueueTimeout, the queue bound, and ctx) for an execution slot, then for
+// a grant of up to wantPages, and returns the ticket plus a derived
+// context carrying the per-query deadline, if the governor has one.
+// Rejections — queue full, wait expired — fail with an error wrapping
+// qerr.ErrAdmission; context cancellation with the qerr context taxonomy.
+// On success the caller must Release the ticket when the query finishes.
+func (g *Governor) Acquire(ctx context.Context, wantPages float64) (*Ticket, context.Context, error) {
+	if err := qerr.FromContext(ctx.Err()); err != nil {
+		return nil, nil, err
+	}
+	began := time.Now()
+
+	// Admission: try for a free slot; join the bounded queue otherwise.
+	select {
+	case <-g.slots:
+	default:
+		g.mu.Lock()
+		if g.queued >= g.cfg.MaxQueued {
+			g.shedQueueFull++
+			g.mu.Unlock()
+			return nil, nil, fmt.Errorf("governor: admission queue full (%d waiting, %d running): %w",
+				g.cfg.MaxQueued, g.cfg.MaxConcurrent, qerr.ErrAdmission)
+		}
+		g.queued++
+		if g.queued > g.queueHighWater {
+			g.queueHighWater = g.queued
+		}
+		g.mu.Unlock()
+
+		timer := time.NewTimer(g.cfg.QueueTimeout)
+		var err error
+		select {
+		case <-g.slots:
+		case <-timer.C:
+			err = fmt.Errorf("governor: queue wait exceeded %v: %w", g.cfg.QueueTimeout, qerr.ErrAdmission)
+		case <-ctx.Done():
+			err = qerr.FromContext(ctx.Err())
+		}
+		timer.Stop()
+		g.mu.Lock()
+		g.queued--
+		if err != nil {
+			if !qerr.Canceled(err) {
+				g.shedTimeout++
+			}
+			g.mu.Unlock()
+			return nil, nil, err
+		}
+		g.mu.Unlock()
+	}
+
+	// Memory grant, under its own wait budget: slot holders release pages
+	// as they finish, so a bounded wait here cannot deadlock.
+	want := wantPages
+	if want <= 0 {
+		want = g.cfg.MinGrantPages
+	}
+	grantCtx, grantCancel := context.WithTimeout(ctx, g.cfg.QueueTimeout)
+	pages, err := g.broker.Acquire(grantCtx, want, g.cfg.MinGrantPages)
+	grantCancel()
+	if err != nil {
+		g.slots <- struct{}{}
+		if cerr := qerr.FromContext(ctx.Err()); cerr != nil {
+			// The caller's own context ended; that is a cancellation, not
+			// a load-shedding decision.
+			return nil, nil, cerr
+		}
+		g.mu.Lock()
+		g.shedTimeout++
+		g.mu.Unlock()
+		return nil, nil, err
+	}
+
+	wait := time.Since(began)
+	g.mu.Lock()
+	g.inFlight++
+	g.admitted++
+	g.queueWaitTotal += wait
+	g.mu.Unlock()
+
+	qctx := ctx
+	var cancel context.CancelFunc
+	if g.cfg.Deadline > 0 {
+		qctx, cancel = context.WithTimeout(ctx, g.cfg.Deadline)
+	}
+	return &Ticket{
+		Pages:     pages,
+		Requested: want,
+		Wait:      wait,
+		Degraded:  pages < want,
+		g:         g,
+		cancel:    cancel,
+	}, qctx, nil
+}
+
+// Release returns the ticket's grant and slot; it is idempotent.
+func (t *Ticket) Release() {
+	if t == nil {
+		return
+	}
+	t.once.Do(func() {
+		if t.cancel != nil {
+			t.cancel()
+		}
+		t.g.broker.Release(t.Pages)
+		t.g.slots <- struct{}{}
+		t.g.mu.Lock()
+		t.g.inFlight--
+		t.g.completed++
+		t.g.mu.Unlock()
+	})
+}
+
+// ResizePool changes the grant pool size; see Broker.Resize.
+func (g *Governor) ResizePool(totalPages float64) { g.broker.Resize(totalPages) }
+
+// Broker exposes the grant broker (for invariant checks in tests and the
+// chaos harness).
+func (g *Governor) Broker() *Broker { return g.broker }
+
+// Stats returns a snapshot of the governor's counters.
+func (g *Governor) Stats() Stats {
+	g.mu.Lock()
+	s := Stats{
+		Admitted:       g.admitted,
+		Completed:      g.completed,
+		ShedQueueFull:  g.shedQueueFull,
+		ShedTimeout:    g.shedTimeout,
+		InFlight:       g.inFlight,
+		Queued:         g.queued,
+		QueueHighWater: g.queueHighWater,
+		QueueWaitTotal: g.queueWaitTotal,
+	}
+	g.mu.Unlock()
+	s.Broker = g.broker.Stats()
+	return s
+}

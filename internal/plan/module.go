@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"dynplan/internal/physical"
 )
@@ -38,6 +39,10 @@ type AccessModule struct {
 	nodes int
 	raw   []byte
 
+	// statsMu guards usage and activations: concurrent queries activate
+	// one shared module, and the shrinking heuristic reads the statistics
+	// while activations may still be running.
+	statsMu sync.Mutex
 	// usage maps each DAG node to the number of activations whose chosen
 	// plan included it, the statistic driving the shrinking heuristic.
 	usage       map[*physical.Node]int
@@ -100,7 +105,11 @@ func (m *AccessModule) ReadTime(p physical.Params) float64 {
 }
 
 // Activations returns how many times the module has been activated.
-func (m *AccessModule) Activations() int { return m.activations }
+func (m *AccessModule) Activations() int {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return m.activations
+}
 
 // encode serializes the DAG: nodes in topological (children-first) order,
 // children referenced by index, root last.

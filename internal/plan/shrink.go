@@ -12,6 +12,8 @@ func (m *AccessModule) UsageFraction() float64 {
 	if m.nodes == 0 {
 		return 0
 	}
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
 	used := 0
 	for _, c := range m.usage {
 		if c > 0 {
@@ -32,6 +34,8 @@ func (m *AccessModule) UsageFraction() float64 {
 // have been chosen under bindings that simply have not occurred yet, so a
 // shrunk plan trades adaptability for start-up speed.
 func (m *AccessModule) Shrink() (*AccessModule, error) {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
 	if m.activations == 0 {
 		return nil, fmt.Errorf("plan: cannot shrink before any activation")
 	}

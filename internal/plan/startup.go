@@ -173,6 +173,7 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 	resolved, used, picked := resolve(root, chooser)
 	chosenCost := model.Evaluate(resolved, env).Cost.Lo
 
+	m.statsMu.Lock()
 	m.activations++
 	// Usage statistics drive the shrinking heuristic and are keyed by the
 	// module's own DAG nodes; when feasibility validation rebuilt parts of
@@ -190,6 +191,7 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 			}
 		}
 	}
+	m.statsMu.Unlock()
 
 	return &StartupReport{
 		Chosen:         resolved,

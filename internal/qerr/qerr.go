@@ -58,6 +58,16 @@ var (
 	// ErrOperatorPanic reports an operator panic converted to an error at
 	// the executor boundary.
 	ErrOperatorPanic = errors.New("qerr: operator panic")
+	// ErrAdmission reports that the resource governor refused to run the
+	// query: the admission queue was full, or the queue-wait (or grant-wait)
+	// budget expired before a slot or a memory grant freed up. The query
+	// never started executing; resubmitting under lighter load can succeed.
+	ErrAdmission = errors.New("qerr: admission rejected")
+	// ErrCircuitOpen reports that a per-relation circuit breaker — tripped
+	// by repeated permanent faults on that relation — excluded every plan
+	// alternative, so execution failed fast instead of burning retries
+	// against a poisoned access path.
+	ErrCircuitOpen = errors.New("qerr: circuit breaker open")
 )
 
 // Retryable reports whether re-executing can plausibly succeed: transient
@@ -98,6 +108,10 @@ func FromContext(err error) error {
 type OpError struct {
 	// Op describes the failing plan operator ("File-Scan R1", …).
 	Op string
+	// Rel is the base relation the failing operator reads, when it reads
+	// one ("" for pure compute operators). The per-relation circuit breaker
+	// keys on it.
+	Rel string
 	// Err is the underlying failure.
 	Err error
 }
@@ -114,6 +128,12 @@ func (e *OpError) Unwrap() error { return e.Err }
 // property of the whole execution, not of the operator that happened to
 // poll it.
 func At(op string, err error) error {
+	return AtRel(op, "", err)
+}
+
+// AtRel is At carrying the base relation the operator reads, so failures
+// can be attributed to a relation (see Relation) as well as an operator.
+func AtRel(op, rel string, err error) error {
 	if err == nil {
 		return nil
 	}
@@ -121,7 +141,7 @@ func At(op string, err error) error {
 	if errors.As(err, &oe) || Canceled(err) {
 		return err
 	}
-	return &OpError{Op: op, Err: err}
+	return &OpError{Op: op, Rel: rel, Err: err}
 }
 
 // Operator returns the plan operator a failure was raised at, or "" when
@@ -130,6 +150,17 @@ func Operator(err error) string {
 	var oe *OpError
 	if errors.As(err, &oe) {
 		return oe.Op
+	}
+	return ""
+}
+
+// Relation returns the base relation the failing operator was reading, or
+// "" when the error carries none — compute operators, cancellation, and
+// governor rejections have no relation.
+func Relation(err error) string {
+	var oe *OpError
+	if errors.As(err, &oe) {
+		return oe.Rel
 	}
 	return ""
 }

@@ -73,3 +73,57 @@ func TestAt(t *testing.T) {
 		t.Error("plain error has an operator")
 	}
 }
+
+func TestRelationAttribution(t *testing.T) {
+	inner := AtRel("File-Scan R2", "R2", fmt.Errorf("page 7: %w", ErrPermanentIO))
+	if Relation(inner) != "R2" {
+		t.Errorf("Relation = %q", Relation(inner))
+	}
+	// Outer wrapping — another operator, retry decoration — must not
+	// override the innermost attribution, and must keep the taxonomy.
+	outer := fmt.Errorf("gave up after 5 attempts: %w",
+		AtRel("Hash-Join R1.k = R2.k", "", inner))
+	if Relation(outer) != "R2" {
+		t.Errorf("innermost relation lost: %q", Relation(outer))
+	}
+	if Operator(outer) != "File-Scan R2" {
+		t.Errorf("innermost operator lost: %q", Operator(outer))
+	}
+	if !errors.Is(outer, ErrPermanentIO) {
+		t.Error("classification lost through wrapping")
+	}
+	var oe *OpError
+	if !errors.As(outer, &oe) || oe.Rel != "R2" || oe.Op != "File-Scan R2" {
+		t.Errorf("errors.As round-trip: %+v", oe)
+	}
+	// Compute operators carry no relation.
+	if Relation(At("Sort R1.a", ErrInsufficientMemory)) != "" {
+		t.Error("At attributed a relation")
+	}
+	if Relation(errors.New("plain")) != "" {
+		t.Error("plain error has a relation")
+	}
+}
+
+func TestGovernorSentinels(t *testing.T) {
+	shed := fmt.Errorf("governor: queue full: %w", ErrAdmission)
+	if !errors.Is(shed, ErrAdmission) {
+		t.Error("wrapped admission rejection lost its sentinel")
+	}
+	if Retryable(shed) || Canceled(shed) {
+		t.Error("admission rejection misclassified as retryable or canceled")
+	}
+	if Operator(shed) != "" || Relation(shed) != "" {
+		t.Error("admission rejection attributed to an operator or relation")
+	}
+	// ErrCircuitOpen wraps alongside an underlying infeasibility cause;
+	// both must stay matchable.
+	cause := errors.New("plan: no feasible alternative")
+	tripped := fmt.Errorf("circuit breaker excludes [R1]: %w: %w", ErrCircuitOpen, cause)
+	if !errors.Is(tripped, ErrCircuitOpen) || !errors.Is(tripped, cause) {
+		t.Error("double-wrapped circuit-open error lost a branch")
+	}
+	if Retryable(tripped) || Canceled(tripped) {
+		t.Error("circuit-open misclassified")
+	}
+}

@@ -2,6 +2,7 @@ package dynplan
 
 import (
 	"fmt"
+	"time"
 
 	"dynplan/internal/obs"
 )
@@ -27,22 +28,21 @@ type (
 	RunRecord = obs.RunRecord
 )
 
-// EnableObservability installs a per-operator metrics collector on the
-// database: subsequent Execute* calls populate ExecResult.Operators with a
-// stats tree parallel to the executed plan, rendered by
-// ExecResult.ExplainAnalyze. Collection meters every iterator call; when
-// disabled (the default) the hooks reduce to one nil check per compiled
-// operator and allocate nothing.
-func (db *Database) EnableObservability() {
-	db.collector = obs.NewCollector()
-}
+// EnableObservability turns on per-operator metrics collection: subsequent
+// Execute* calls populate ExecResult.Operators with a stats tree parallel
+// to the executed plan, rendered by ExecResult.ExplainAnalyze. Each
+// execution collects into its own window, so concurrent queries never
+// share counters. Collection meters every iterator call; when disabled
+// (the default) the hooks reduce to one nil check per compiled operator
+// and allocate nothing.
+func (db *Database) EnableObservability() { db.observing.Store(true) }
 
-// DisableObservability removes the collector; Execute* calls stop
+// DisableObservability turns collection off; Execute* calls stop
 // populating per-operator stats.
-func (db *Database) DisableObservability() { db.collector = nil }
+func (db *Database) DisableObservability() { db.observing.Store(false) }
 
-// Observing reports whether a collector is installed.
-func (db *Database) Observing() bool { return db.collector.Enabled() }
+// Observing reports whether per-operator metrics collection is on.
+func (db *Database) Observing() bool { return db.observing.Load() }
 
 // ExplainAnalyze renders the executed plan annotated with the observed
 // per-operator metrics — rows produced, page I/O, tuple work, wall and
@@ -70,7 +70,11 @@ func (r *ExecResult) ExplainAnalyze(p Params) string {
 	if r.FaultsAbsorbed > 0 {
 		out += fmt.Sprintf(" faults-absorbed=%d", r.FaultsAbsorbed)
 	}
+	if r.BackoffTotal > 0 {
+		out += fmt.Sprintf(" backoff=%v", r.BackoffTotal.Round(time.Microsecond))
+	}
 	out += "\n"
+	out += r.Admission.Render()
 	if len(r.Decisions) > 0 {
 		out += obs.RenderDecisions(r.Decisions)
 	}

@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sort"
 	"time"
 
+	"dynplan/internal/obs"
 	"dynplan/internal/physical"
 	"dynplan/internal/plan"
 	"dynplan/internal/qerr"
@@ -16,9 +19,16 @@ type RetryPolicy struct {
 	// MaxAttempts is the total number of executions tried, including the
 	// first (default 5).
 	MaxAttempts int
-	// Backoff is the pause before the first retry, doubling each further
-	// retry; zero retries immediately. The pause respects the context.
+	// Backoff is the base pause before the first retry, doubling each
+	// further retry up to MaxBackoff; zero retries immediately. Each pause
+	// is jittered (deterministically, from JitterSeed) to half its nominal
+	// value plus a random remainder, and respects the context.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 32×Backoff).
+	MaxBackoff time.Duration
+	// JitterSeed seeds the deterministic backoff jitter, so retry
+	// schedules are reproducible in tests and chaos runs (default 1).
+	JitterSeed int64
 	// MemoryDowngrade is the factor applied to the memory grant when an
 	// attempt fails with ErrInsufficientMemory and the injector reports no
 	// specific shrink factor to absorb (default 0.5).
@@ -31,6 +41,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.MemoryDowngrade <= 0 || p.MemoryDowngrade >= 1 {
 		p.MemoryDowngrade = 0.5
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 32 * p.Backoff
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = 1
 	}
 	return p
 }
@@ -51,8 +67,18 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 //   - Permanent faults and operator panics: the picked branches are
 //     excluded so re-activation steers onto sibling alternatives that may
 //     avoid the poisoned access path; with no alternatives left the
-//     failure is final.
+//     failure is final. When a circuit breaker is installed (SetGovernor),
+//     the fault is also charged to the relation it was raised at.
 //   - ErrCanceled / ErrDeadlineExceeded: never retried.
+//
+// Retries pause under capped exponential backoff with deterministic
+// jitter (RetryPolicy.Backoff/MaxBackoff/JitterSeed); each pause is
+// recorded in the result's Backoffs and in the decision trace.
+//
+// When a per-relation circuit breaker is installed, relations whose
+// circuits are open are excluded from activation up front; if that leaves
+// no feasible plan the execution fails fast with ErrCircuitOpen rather
+// than re-probing a poisoned access path.
 //
 // When excluding failed branches leaves no feasible plan, the exclusions
 // are forgiven (the module's full choice set is restored) rather than
@@ -61,33 +87,51 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // fallback success returns exactly the rows the fault-free execution
 // would have.
 //
-// The result's Retries, BranchSwitched, FaultsAbsorbed, and
+// The result's Retries, BranchSwitched, FaultsAbsorbed, Backoffs, and
 // EffectiveMemoryPages fields report what the execution absorbed.
 func (db *Database) ExecuteResilient(ctx context.Context, m *Module, b Bindings, pol RetryPolicy) (*ExecResult, error) {
 	pol = pol.withDefaults()
 	mem := b.MemoryPages
 	avoid := make(map[*physical.Node]bool)
 	var firstPicked []*physical.Node
-	absorbedBase := db.faults.Stats().Absorbed
+	inj := db.injector()
+	absorbedBase := inj.Stats().Absorbed
 	retries := 0
 	branchSwitched := false
+	rng := rand.New(rand.NewSource(pol.JitterSeed))
+	var backoffs []time.Duration
+	var retryTrace []obs.ChoiceTrace
+
+	// Relations whose circuit breakers are open sit outside the choice set
+	// for this whole execution; consulting the breaker counts one cooldown
+	// step per blocked relation.
+	blocked := db.breaker.BlockedSet(moduleRelations(m))
 
 	for attempt := 1; ; attempt++ {
 		if err := qerr.FromContext(ctx.Err()); err != nil {
 			return nil, err
 		}
 		opts := plan.StartupOptions{Params: db.sys.params}
-		if len(avoid) > 0 {
-			opts.Avoid = func(n *physical.Node) bool { return avoid[n] }
+		if len(avoid) > 0 || len(blocked) > 0 {
+			opts.Avoid = func(n *physical.Node) bool {
+				return avoid[n] || (n.Rel != "" && blocked[n.Rel])
+			}
 		}
 		bb := b
 		bb.MemoryPages = mem
 		rep, err := m.mod.Activate(bb.internal(), opts)
 		if errors.Is(err, plan.ErrInfeasible) && len(avoid) > 0 {
 			// Every alternative has failed at least once; forgive the
-			// exclusions and try the full choice set again.
+			// exclusions (breaker-blocked relations stay excluded) and try
+			// the remaining choice set again.
 			clear(avoid)
-			rep, err = m.mod.Activate(bb.internal(), plan.StartupOptions{Params: db.sys.params})
+			rep, err = m.mod.Activate(bb.internal(), opts)
+		}
+		if errors.Is(err, plan.ErrInfeasible) && len(blocked) > 0 {
+			// The circuit breaker alone leaves no feasible plan: fail fast
+			// instead of re-probing a poisoned access path.
+			return nil, fmt.Errorf("dynplan: circuit breaker excludes %v and no alternative plan remains: %w: %w",
+				sortedKeys(blocked), qerr.ErrCircuitOpen, err)
 		}
 		if err != nil {
 			return nil, err
@@ -100,40 +144,59 @@ func (db *Database) ExecuteResilient(ctx context.Context, m *Module, b Bindings,
 
 		res, err := db.ExecuteContext(ctx, rep.Chosen, bb)
 		if err == nil {
+			db.recordPlanOutcome(rep.Chosen, "")
 			res.Retries = retries
 			res.BranchSwitched = branchSwitched
-			res.FaultsAbsorbed = db.faults.Stats().Absorbed - absorbedBase
-			res.EffectiveMemoryPages = mem * db.faults.MemoryScale()
-			// The successful attempt's start-up decision trace: which
-			// choose-plan branches this execution actually ran and why.
-			res.Decisions = rep.Trace
+			res.FaultsAbsorbed = inj.Stats().Absorbed - absorbedBase
+			res.EffectiveMemoryPages = mem * inj.MemoryScale()
+			res.Backoffs = backoffs
+			for _, d := range backoffs {
+				res.BackoffTotal += d
+			}
+			// The successful attempt's start-up decision trace — which
+			// choose-plan branches this execution actually ran and why —
+			// followed by the recovery decisions that led to it.
+			res.Decisions = append(rep.Trace, retryTrace...)
 			return res, nil
 		}
 		if qerr.Canceled(err) {
 			return nil, err
 		}
+		// Charge the failing relation's circuit breaker before deciding
+		// whether to retry, so breakers learn from final attempts and from
+		// plans with no alternatives too.
+		failedRel := ""
+		if rel := qerr.Relation(err); rel != "" && !qerr.Retryable(err) {
+			failedRel = rel
+			db.recordPlanOutcome(nil, rel)
+		}
 		if attempt >= pol.MaxAttempts {
 			return nil, fmt.Errorf("dynplan: resilient execution gave up after %d attempts: %w", attempt, err)
 		}
 		retries++
+		var class, response string
 		switch {
 		case errors.Is(err, qerr.ErrInsufficientMemory):
-			if scale := db.faults.MemoryScale(); scale < 1 {
+			class = "insufficient memory"
+			if scale := inj.MemoryScale(); scale < 1 {
 				// Acknowledge the shrink event: the next activation plans
 				// for the memory actually available, so the executor must
 				// not discount it a second time.
 				mem *= scale
-				db.faults.RestoreMemory()
+				inj.RestoreMemory()
 			} else {
 				mem *= pol.MemoryDowngrade
 			}
 			for _, n := range rep.Picked {
 				avoid[n] = true
 			}
+			response = fmt.Sprintf("downgraded grant to %.3g pages, excluding picked branches", mem)
 		case errors.Is(err, qerr.ErrTransientIO):
 			// Retry the same plan: the fault-injection substrate heals
 			// transient faults after a bounded number of touches, so the
 			// retry gets strictly past the page it tripped on.
+			class = "transient I/O"
+			response = "retrying the same plan"
 		default:
 			// Permanent fault, operator panic, or an unclassified failure:
 			// only a different branch can help.
@@ -143,11 +206,63 @@ func (db *Database) ExecuteResilient(ctx context.Context, m *Module, b Bindings,
 			for _, n := range rep.Picked {
 				avoid[n] = true
 			}
+			class = "permanent fault"
+			response = "excluding picked branches"
+			if failedRel != "" {
+				response += fmt.Sprintf(" (fault charged to %s)", failedRel)
+			}
 		}
-		if err := sleepBackoff(ctx, pol.Backoff, retries); err != nil {
+		d := backoffDelay(pol, rng, retries)
+		backoffs = append(backoffs, d)
+		retryTrace = append(retryTrace, obs.NewRetryTrace(attempt, class, response, d))
+		if err := sleepBackoff(ctx, d); err != nil {
 			return nil, err
 		}
 	}
+}
+
+// recordPlanOutcome updates the circuit breaker: a fault-free execution of
+// chosen closes (or keeps closed) the breakers of every relation the plan
+// read; a permanent fault on failedRel charges that relation.
+func (db *Database) recordPlanOutcome(chosen *physical.Node, failedRel string) {
+	if db.breaker == nil {
+		return
+	}
+	if failedRel != "" {
+		db.breaker.RecordFailure(failedRel)
+		return
+	}
+	if chosen == nil {
+		return
+	}
+	seen := make(map[string]bool)
+	chosen.Walk(func(n *physical.Node) {
+		if n.Rel != "" && !seen[n.Rel] {
+			seen[n.Rel] = true
+			db.breaker.RecordSuccess(n.Rel)
+		}
+	})
+}
+
+// moduleRelations returns the distinct base relations any alternative of
+// the module's plan DAG reads, sorted for determinism.
+func moduleRelations(m *Module) []string {
+	seen := make(map[string]bool)
+	m.mod.Root().Walk(func(n *physical.Node) {
+		if n.Rel != "" {
+			seen[n.Rel] = true
+		}
+	})
+	return sortedKeys(seen)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // samePicked reports whether two activations resolved their choose-plans
@@ -164,16 +279,32 @@ func samePicked(a, b []*physical.Node) bool {
 	return true
 }
 
-// sleepBackoff pauses base × 2^(retry−1), honoring the context.
-func sleepBackoff(ctx context.Context, base time.Duration, retry int) error {
-	if base <= 0 {
-		return nil
+// backoffDelay computes the pause before the retry-th retry: the base
+// doubled per retry and capped at MaxBackoff, then jittered to half its
+// nominal value plus a seeded-random remainder — the standard "equal
+// jitter" scheme, deterministic under a fixed JitterSeed.
+func backoffDelay(pol RetryPolicy, rng *rand.Rand, retry int) time.Duration {
+	if pol.Backoff <= 0 {
+		return 0
 	}
 	shift := retry - 1
 	if shift > 16 {
 		shift = 16
 	}
-	t := time.NewTimer(base << uint(shift))
+	d := pol.Backoff << uint(shift)
+	if d > pol.MaxBackoff {
+		d = pol.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// sleepBackoff pauses for d, honoring the context.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
