@@ -7,11 +7,15 @@ import (
 )
 
 // Analyze builds equi-depth histograms over every attribute of every
-// loaded relation (an ANALYZE pass). Afterwards EstimateSelectivity and
-// BindValue use distribution-aware estimates instead of the uniform
-// value ÷ domain assumption — eliminating at the source much of the
-// selectivity estimation error that otherwise only the adaptive executor
-// can absorb at run-time.
+// loaded relation (an ANALYZE pass) and refreshes each loaded relation's
+// catalog cardinality from the rows actually stored. Afterwards
+// EstimateSelectivity and BindValue use distribution-aware estimates
+// instead of the uniform value ÷ domain assumption — eliminating at the
+// source much of the selectivity estimation error that otherwise only
+// the adaptive executor can absorb at run-time. The cardinality refresh
+// is the remedy for the stale-catalog drift the workload observatory's
+// calibration table flags: once re-analyzed, subsequent optimizations
+// predict over the true row counts and the interval violations stop.
 func (db *Database) Analyze(buckets int) error {
 	if db.histograms == nil {
 		db.histograms = make(map[string]map[string]*stats.Histogram)
@@ -25,6 +29,7 @@ func (db *Database) Analyze(buckets int) error {
 		if err != nil {
 			return err
 		}
+		rel.Cardinality = t.NumRows()
 		if db.histograms[rel.Name] == nil {
 			db.histograms[rel.Name] = make(map[string]*stats.Histogram)
 		}

@@ -89,6 +89,13 @@ func TestChaosSoak(t *testing.T) {
 		})
 	}
 
+	// The observatory rides along for the whole soak: the satellite
+	// criterion is that metrics recording stays race-free under the full
+	// concurrent chaos load. Enabled after the reference runs so the
+	// registry tallies exactly the soak's own queries.
+	db.EnableObservatory()
+	defer db.DisableObservatory()
+
 	before := harness.StableGoroutines()
 	db.SetGovernor(GovernorConfig{
 		TotalPages:    poolStart,
@@ -153,6 +160,32 @@ func TestChaosSoak(t *testing.T) {
 	if after := harness.StableGoroutines(); after > before+2 {
 		t.Errorf("goroutines grew from %d to %d", before, after)
 	}
+
+	// Observatory accounting must agree with the harness's books: every
+	// soak iteration ends as a success (a recorded query), a failed query
+	// (deadline/cancel of an admitted one), or an admission shed.
+	snap := db.MetricsSnapshot()
+	if snap == nil {
+		t.Fatal("observatory disabled itself during the soak")
+	}
+	if snap.Queries != int64(rep.Succeeded)+snap.Errors {
+		t.Errorf("registry queries=%d, want succeeded(%d)+errors(%d)",
+			snap.Queries, rep.Succeeded, snap.Errors)
+	}
+	if snap.Sheds+snap.Errors != int64(rep.Rejected) {
+		t.Errorf("registry sheds=%d+errors=%d != harness rejected=%d",
+			snap.Sheds, snap.Errors, rep.Rejected)
+	}
+	if snap.LatencyNanos.Count != snap.Queries {
+		t.Errorf("latency histogram count=%d != queries=%d",
+			snap.LatencyNanos.Count, snap.Queries)
+	}
+	if snap.Executions < snap.Queries {
+		t.Errorf("executions=%d < queries=%d despite retries", snap.Executions, snap.Queries)
+	}
+	t.Logf("observatory: %d queries, %d executions, %d sheds, %d errors, p99 latency %.2fms, worst q-error %.3g",
+		snap.Queries, snap.Executions, snap.Sheds, snap.Errors,
+		snap.LatencyNanos.P99/1e6, snap.WorstQError)
 }
 
 // TestChaosSoakSheds squeezes the governor until it must reject — one

@@ -72,6 +72,32 @@ func TestDiff(t *testing.T) {
 		}
 	})
 
+	t.Run("calibration-metrics-informational", func(t *testing.T) {
+		// Current records carrying calibration series a size-only baseline
+		// never had must be labelled "calib" and must not trip the gate.
+		curDir := t.TempDir()
+		write(t, curDir, &obs.RunRecord{Name: "gated", SimCostTotal: 10,
+			Metrics: map[string]float64{"a": 100, "q-error-max": 4.2, "interval-violations": 3}})
+		write(t, curDir, &obs.RunRecord{Name: "sizes", SimCostTotal: 0,
+			Metrics: map[string]float64{"nodes": 50, "q-error-max": 16}})
+		var out strings.Builder
+		failed, err := diff(baseDir, curDir, 0.10, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failed {
+			t.Errorf("calibration drift tripped the gate:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "calib") ||
+			!strings.Contains(out.String(), "q-error-max") ||
+			!strings.Contains(out.String(), "interval-violations") {
+			t.Errorf("calibration metrics not reported as calib lines:\n%s", out.String())
+		}
+		if strings.Contains(out.String(), "drift    gated                    q-error-max") {
+			t.Errorf("calibration metric printed as plain drift:\n%s", out.String())
+		}
+	})
+
 	t.Run("missing-record-fails", func(t *testing.T) {
 		curDir := t.TempDir()
 		write(t, curDir, &obs.RunRecord{Name: "gated", SimCostTotal: 10,

@@ -1,0 +1,150 @@
+// Command obsd runs a demo workload under the workload observatory and
+// serves its live endpoints over HTTP:
+//
+//	/metrics      JSON metrics snapshot (counters, gauges, histograms,
+//	              per-operator and per-relation aggregates)
+//	/calibration  interval-calibration reports, worst offenders first
+//	/queries      recent run records as JSON lines (?n=K for the newest K)
+//
+// Usage:
+//
+//	obsd [-addr :8344] [-seed 7] [-n 200] [-interval 50ms] [-stale 4]
+//
+// The demo database is the 3-way chain join the repository's experiments
+// use (E1 ⋈ E2 ⋈ E3, each with a selection on a host variable), executed
+// through the governed path with varied selectivities so admission stats,
+// latency histograms, and choose-plan decisions all populate. -stale
+// multiplies E1's real row count beyond its catalog cardinality, so the
+// calibration table has a genuine offender to flag. With -n 0 the server
+// starts with an empty registry; otherwise it keeps serving after the
+// workload finishes so the endpoints can be inspected at leisure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"dynplan"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "HTTP listen address")
+	seed := flag.Int64("seed", 7, "data and workload seed")
+	n := flag.Int("n", 200, "workload queries to run (0 serves an empty registry)")
+	interval := flag.Duration("interval", 50*time.Millisecond, "pause between workload queries")
+	stale := flag.Float64("stale", 4, "staleness factor applied to E1's real cardinality")
+	flag.Parse()
+
+	db, mod, err := demoDatabase(*seed, *stale)
+	if err != nil {
+		fatal(err)
+	}
+	db.EnableObservatory()
+	db.SetGovernor(dynplan.GovernorConfig{
+		TotalPages:    256,
+		MinGrantPages: 16,
+		MaxConcurrent: 4,
+	})
+
+	go func() {
+		if err := runWorkload(db, mod, *seed, *n, *interval); err != nil {
+			log.Printf("obsd: workload: %v", err)
+		}
+	}()
+
+	log.Printf("obsd: serving /metrics /calibration /queries on %s", *addr)
+	if err := http.ListenAndServe(*addr, db.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// demoDatabase builds the 3-way chain-join system with data loaded and
+// indexes built, returning the opened database and the dynamic plan's
+// access module. staleness > 1 loads E1 with that multiple of its catalog
+// cardinality, making the catalog stale by construction.
+func demoDatabase(seed int64, staleness float64) (*dynplan.Database, *dynplan.Module, error) {
+	sys := dynplan.New()
+	for i := 1; i <= 3; i++ {
+		sys.MustCreateRelation(fmt.Sprintf("E%d", i), 400, 512,
+			dynplan.Attr{Name: "a", DomainSize: 400, BTree: true},
+			dynplan.Attr{Name: "jl", DomainSize: 80, BTree: true},
+			dynplan.Attr{Name: "jh", DomainSize: 80, BTree: true},
+		)
+	}
+	spec := dynplan.QuerySpec{}
+	for i := 1; i <= 3; i++ {
+		spec.Relations = append(spec.Relations, dynplan.RelSpec{
+			Name: fmt.Sprintf("E%d", i),
+			Pred: &dynplan.Pred{Attr: "a", Variable: fmt.Sprintf("v%d", i)},
+		})
+	}
+	for i := 1; i < 3; i++ {
+		spec.Joins = append(spec.Joins, dynplan.JoinSpec{
+			LeftRel: fmt.Sprintf("E%d", i), LeftAttr: "jh",
+			RightRel: fmt.Sprintf("E%d", i+1), RightAttr: "jl",
+		})
+	}
+	q, err := sys.BuildQuery(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	dyn, err := sys.OptimizeDynamic(q, dynplan.Uncertainty{})
+	if err != nil {
+		return nil, nil, err
+	}
+	mod, err := dyn.Module()
+	if err != nil {
+		return nil, nil, err
+	}
+	db := sys.OpenDatabase()
+	if err := db.GenerateData(seed); err != nil {
+		return nil, nil, err
+	}
+	// Stale catalog: E1 really holds staleness x its declared 400 rows.
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := 0; i < int(400*(staleness-1)); i++ {
+		row := []int64{int64(rng.Intn(400)), int64(rng.Intn(80)), int64(rng.Intn(80))}
+		if err := db.Insert("E1", row); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := db.BuildIndexes(); err != nil {
+		return nil, nil, err
+	}
+	return db, mod, nil
+}
+
+// runWorkload drives n governed executions with varied selectivities and
+// memory, the traffic the endpoints report on.
+func runWorkload(db *dynplan.Database, mod *dynplan.Module, seed int64, n int, interval time.Duration) error {
+	rng := rand.New(rand.NewSource(seed))
+	sels := []float64{0.05, 0.1, 0.25, 0.5, 0.8}
+	mems := []float64{32, 64, 96}
+	for i := 0; i < n; i++ {
+		b := dynplan.Bindings{
+			Selectivities: map[string]float64{
+				"v1": sels[rng.Intn(len(sels))],
+				"v2": sels[rng.Intn(len(sels))],
+				"v3": sels[rng.Intn(len(sels))],
+			},
+			MemoryPages: mems[rng.Intn(len(mems))],
+		}
+		if _, err := db.ExecuteGoverned(context.Background(), mod, b, dynplan.RetryPolicy{}); err != nil {
+			return err
+		}
+		time.Sleep(interval)
+	}
+	log.Printf("obsd: workload done (%d queries); endpoints stay live", n)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obsd:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dynplan/internal/btree"
+	"dynplan/internal/cost"
 	"dynplan/internal/exec"
 	"dynplan/internal/governor"
 	"dynplan/internal/obs"
@@ -37,6 +38,10 @@ type Database struct {
 	// observing enables per-operator metrics; each execution collects into
 	// its own window, so concurrent queries never share counters.
 	observing atomic.Bool
+	// metrics holds the workload observatory's registry when enabled
+	// (EnableObservatory); nil means disabled and every recording hook
+	// reduces to one pointer comparison.
+	metrics atomic.Pointer[obs.Registry]
 	// gov, when non-nil, governs admission and memory grants for
 	// ExecuteGoverned; breaker is the per-relation circuit breaker
 	// ExecuteResilient consults. Both are internally synchronized.
@@ -195,6 +200,13 @@ type ExecResult struct {
 	// to the executed plan; nil unless the database had observability
 	// enabled (EnableObservability). Render it with ExplainAnalyze.
 	Operators *obs.PlanStats
+	// PlanDigest is a stable hash of the executed plan's shape and
+	// Calibration the execution's interval-calibration verdicts
+	// (predicted-vs-actual per operator, plus the plan-level cost check);
+	// both are populated only while the workload observatory is enabled
+	// (EnableObservatory).
+	PlanDigest  string
+	Calibration []obs.CalibrationVerdict
 	// Decisions is the start-up decision trace of the activation that
 	// produced the executed plan, when the execution path carries one
 	// (ExecuteResilient attaches it, including one entry per retry
@@ -224,13 +236,27 @@ func (db *Database) Execute(root *physical.Node, b Bindings) (*ExecResult, error
 // ErrDeadlineExceeded. When a fault injector is installed (InjectFaults),
 // base-table page reads run through it.
 func (db *Database) ExecuteContext(ctx context.Context, root *physical.Node, b Bindings) (*ExecResult, error) {
+	return db.executeInner(ctx, root, b, cost.Cost{})
+}
+
+// executeInner is the common execution funnel behind every Execute*
+// variant. planCost, when non-zero, is the optimizer's compile-time
+// predicted cost interval for the plan — the band the workload
+// observatory's plan-level calibration verdict checks the observed
+// simulated cost against.
+func (db *Database) executeInner(ctx context.Context, root *physical.Node, b Bindings, planCost cost.Cost) (*ExecResult, error) {
+	reg := db.metrics.Load()
+	var start time.Time
+	if reg.Enabled() {
+		start = time.Now()
+	}
 	acc := &storage.Accountant{}
 	// Each execution collects into its own fresh window: the stats tree
 	// describes this run, and concurrent executions of the same plan never
 	// share counters. The injector pointer is snapshotted once, so a
 	// concurrent InjectFaults/ClearFaults cannot swap it mid-query.
 	var collector *obs.Collector
-	if db.observing.Load() {
+	if db.observing.Load() || reg.Enabled() {
 		collector = obs.NewCollector()
 	}
 	inj := db.injector()
@@ -246,6 +272,14 @@ func (db *Database) ExecuteContext(ctx context.Context, root *physical.Node, b B
 	absorbedBefore := inj.Stats().Absorbed
 	rows, schema, err := e.RunContext(ctx, root, b.internal())
 	if err != nil {
+		if reg.Enabled() {
+			reg.Executions.Add(1)
+			if !obs.Suppressed(ctx) {
+				wall := time.Since(start)
+				reg.RecordQuery(obs.QuerySample{WallNanos: wall.Nanoseconds(), Failed: true})
+				reg.LogQuery(db.queryLogRecord(nil, wall, err))
+			}
+		}
 		return nil, err
 	}
 	out := &ExecResult{
@@ -256,11 +290,35 @@ func (db *Database) ExecuteContext(ctx context.Context, root *physical.Node, b B
 		TupleOps:             acc.TupleOps(),
 		FaultsAbsorbed:       inj.Stats().Absorbed - absorbedBefore,
 		EffectiveMemoryPages: b.MemoryPages * inj.MemoryScale(),
-		Operators:            collector.Tree(root),
 	}
 	out.Rows = make([][]int64, len(rows))
 	for i, r := range rows {
 		out.Rows[i] = r
+	}
+	if reg.Enabled() {
+		// Annotate the resolved tree with the cost model's predicted
+		// cardinality intervals under this execution's bindings, then
+		// compare each against the observed actuals. When the caller
+		// supplied no compile-time plan interval, the model's own
+		// evaluation of the resolved plan serves as the cost prediction.
+		model := physical.NewModel(db.sys.params)
+		predicted := exec.AnnotatePredictions(collector, model, b.internal().Env(), root)
+		if planCost.Hi <= 0 {
+			planCost = predicted
+		}
+		out.Operators = collector.Tree(root)
+		out.PlanDigest = obs.Digest(root.Format())
+		out.Calibration = obs.Calibrate(out.Operators, planCost.Lo, planCost.Hi, out.SimulatedSeconds(db.sys.params))
+		reg.Executions.Add(1)
+		reg.RecordOperators(out.Operators)
+		reg.RecordCalibration(out.Calibration)
+		if !obs.Suppressed(ctx) {
+			wall := time.Since(start)
+			reg.RecordQuery(querySampleOf(out, wall))
+			reg.LogQuery(db.queryLogRecord(out, wall, nil))
+		}
+	} else {
+		out.Operators = collector.Tree(root)
 	}
 	return out, nil
 }
@@ -313,7 +371,9 @@ func (db *Database) ExecutePlanContext(ctx context.Context, p *Plan, b Bindings)
 	if p.IsDynamic() {
 		return nil, fmt.Errorf("dynplan: cannot execute a dynamic plan directly; build its Module and Activate it first")
 	}
-	return db.ExecuteContext(ctx, p.Root(), b)
+	// The plan carries its compile-time predicted cost interval; the
+	// observatory's plan-level calibration verdict checks against it.
+	return db.executeInner(ctx, p.Root(), b, p.res.Cost)
 }
 
 // ExecuteActivation runs the plan an activation chose.

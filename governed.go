@@ -2,6 +2,7 @@ package dynplan
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"dynplan/internal/governor"
@@ -119,6 +120,33 @@ func (db *Database) BreakerTrips() map[string]int64 {
 // negotiation. Without an installed governor it falls back to
 // ExecuteResilient unchanged.
 func (db *Database) ExecuteGoverned(ctx context.Context, m *Module, b Bindings, pol RetryPolicy) (*ExecResult, error) {
+	reg := db.metrics.Load()
+	if !reg.Enabled() || obs.Suppressed(ctx) {
+		return db.executeGoverned(ctx, m, b, pol)
+	}
+	// Outermost recording layer: the sample covers admission wait plus the
+	// whole resilient execution. Sheds count separately — a shed query
+	// never started, so it is not a query error.
+	start := time.Now()
+	res, err := db.executeGoverned(obs.SuppressRecording(ctx), m, b, pol)
+	wall := time.Since(start)
+	if err != nil {
+		if errors.Is(err, ErrAdmission) {
+			reg.RecordShed()
+		} else {
+			reg.RecordQuery(obs.QuerySample{WallNanos: wall.Nanoseconds(), Failed: true})
+			reg.LogQuery(db.queryLogRecord(nil, wall, err))
+		}
+		return nil, err
+	}
+	reg.RecordQuery(querySampleOf(res, wall))
+	reg.LogQuery(db.queryLogRecord(res, wall, nil))
+	return res, nil
+}
+
+// executeGoverned is the admission-controlled execution behind
+// ExecuteGoverned.
+func (db *Database) executeGoverned(ctx context.Context, m *Module, b Bindings, pol RetryPolicy) (*ExecResult, error) {
 	if db.gov == nil {
 		return db.ExecuteResilient(ctx, m, b, pol)
 	}
@@ -127,6 +155,9 @@ func (db *Database) ExecuteGoverned(ctx context.Context, m *Module, b Bindings, 
 		return nil, err
 	}
 	defer ticket.Release()
+	if reg := db.metrics.Load(); reg.Enabled() {
+		reg.PoolPages.Set(db.gov.Broker().Stats().TotalPages)
+	}
 
 	bb := b
 	bb.MemoryPages = ticket.Pages

@@ -1,0 +1,28 @@
+package exec
+
+import (
+	"dynplan/internal/bindings"
+	"dynplan/internal/cost"
+	"dynplan/internal/obs"
+	"dynplan/internal/physical"
+)
+
+// AnnotatePredictions evaluates the cost model over a resolved plan under
+// the execution's environment and attaches each node's predicted
+// output-cardinality interval to the collector, so the stats tree built
+// after execution carries predicted-vs-actual pairs for the calibration
+// layer. It returns the plan's predicted cost interval under the same
+// environment. Shared subplans are evaluated once (session memoization).
+// No-op returning a zero interval on a disabled collector.
+func AnnotatePredictions(c *obs.Collector, model *physical.Model, env *bindings.Env, root *physical.Node) cost.Cost {
+	if !c.Enabled() || root == nil {
+		return cost.Cost{}
+	}
+	sess := model.NewSession(env)
+	rootRes := sess.Evaluate(root)
+	root.Walk(func(n *physical.Node) {
+		r := sess.Evaluate(n)
+		c.Predict(n, obs.Prediction{CardLo: r.Card.Lo, CardHi: r.Card.Hi})
+	})
+	return rootRes.Cost
+}

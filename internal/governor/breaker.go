@@ -100,9 +100,11 @@ func (b *Breaker) BlockedSet(rels []string) map[string]bool {
 
 // RecordFailure records a permanent fault attributed to the relation;
 // reaching the threshold (or failing a half-open probe) opens the circuit.
-func (b *Breaker) RecordFailure(rel string) {
+// It reports whether this failure tripped the circuit (opened or
+// re-opened it), so callers can count trips as they happen.
+func (b *Breaker) RecordFailure(rel string) bool {
 	if b == nil || rel == "" {
-		return
+		return false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -114,15 +116,18 @@ func (b *Breaker) RecordFailure(rel string) {
 			e.halfOpen = false
 			e.blocked = 0
 			e.trips++
+			return true
 		}
-		return
+		return false
 	}
 	if e.consecFails >= b.threshold {
 		e.open = true
 		e.halfOpen = false
 		e.blocked = 0
 		e.trips++
+		return true
 	}
+	return false
 }
 
 // RecordSuccess records a fault-free execution that read the relation; it

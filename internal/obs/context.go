@@ -1,0 +1,26 @@
+package obs
+
+import "context"
+
+// The layered execution paths (governed → resilient → plain) each funnel
+// into the same inner execution, so without coordination one user query
+// would be recorded as several queries by the workload registry. The
+// outermost recording layer marks the context; inner layers see the mark
+// and record only per-execution metrics (attempts, operator aggregates),
+// leaving the query-level sample and query-log entry to the outside.
+
+type suppressKey struct{}
+
+// SuppressRecording returns a context marked so inner execution layers
+// skip query-level registry recording. Callers only pay the allocation
+// when the registry is enabled.
+func SuppressRecording(ctx context.Context) context.Context {
+	return context.WithValue(ctx, suppressKey{}, true)
+}
+
+// Suppressed reports whether query-level recording is suppressed for this
+// context.
+func Suppressed(ctx context.Context) bool {
+	v, _ := ctx.Value(suppressKey{}).(bool)
+	return v
+}

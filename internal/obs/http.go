@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the workload observatory over stdlib net/http. source is
+// consulted per request and returns the live registry (nil while the
+// observatory is disabled, which answers 503), so the handler can be
+// installed once and survive Enable/Disable cycles. Endpoints:
+//
+//	/metrics      JSON RegistrySnapshot: counters, gauges, histogram
+//	              quantiles, per-operator and per-relation aggregates.
+//	/calibration  JSON array of CalibrationReports, worst offenders first.
+//	/queries      recent run records as JSON lines (application/x-ndjson),
+//	              oldest first; ?n=K limits to the newest K.
+//
+// The database layer wraps this as (*Database).Handler(), keeping obs free
+// of upward imports.
+func Handler(source func() *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		r := source()
+		if !r.Enabled() {
+			disabled(w)
+			return
+		}
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/calibration", func(w http.ResponseWriter, req *http.Request) {
+		r := source()
+		if !r.Enabled() {
+			disabled(w)
+			return
+		}
+		reps := r.CalibrationReports()
+		if reps == nil {
+			reps = []CalibrationReport{}
+		}
+		writeJSON(w, reps)
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, req *http.Request) {
+		r := source()
+		if !r.Enabled() {
+			disabled(w)
+			return
+		}
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "obs: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, rec := range r.RecentQueries(n) {
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+		}
+	})
+	return mux
+}
+
+func disabled(w http.ResponseWriter) {
+	http.Error(w, "obs: observatory disabled", http.StatusServiceUnavailable)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

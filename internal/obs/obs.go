@@ -105,11 +105,27 @@ func (c Counters) SimulatedSeconds(r CostRates) float64 {
 type Collector struct {
 	mu    sync.Mutex
 	stats map[*physical.Node]*Counters
+	preds map[*physical.Node]Prediction
 }
 
 // NewCollector returns an empty, enabled collector.
 func NewCollector() *Collector {
 	return &Collector{stats: make(map[*physical.Node]*Counters)}
+}
+
+// Predict attaches a compile-time cardinality interval to a plan node, so
+// the stats tree can be calibrated against it after execution. No-op on a
+// nil collector.
+func (c *Collector) Predict(n *physical.Node, p Prediction) {
+	if c == nil || n == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.preds == nil {
+		c.preds = make(map[*physical.Node]Prediction)
+	}
+	c.preds[n] = p
 }
 
 // Enabled reports whether the collector is collecting; false on nil.
@@ -146,10 +162,19 @@ func (c *Collector) Reset() {
 // both the EXPLAIN ANALYZE model and the plan-shape section of a JSON run
 // record.
 type PlanStats struct {
-	Op       string       `json:"op"`
-	Label    string       `json:"label"`
-	Counters Counters     `json:"counters"`
-	Children []*PlanStats `json:"children,omitempty"`
+	Op       string   `json:"op"`
+	Label    string   `json:"label"`
+	Counters Counters `json:"counters"`
+	// Rel names the base relation the operator reads, when it reads one —
+	// the key the workload registry aggregates per-relation metrics under.
+	Rel string `json:"rel,omitempty"`
+	// Predicted is the compile-time cardinality interval attached via
+	// Collector.Predict; QError and Violation are filled in by Calibrate
+	// after execution.
+	Predicted *Prediction  `json:"predicted,omitempty"`
+	QError    float64      `json:"q_error,omitempty"`
+	Violation bool         `json:"violation,omitempty"`
+	Children  []*PlanStats `json:"children,omitempty"`
 }
 
 // Tree builds the stats tree for the plan rooted at root from the
@@ -169,10 +194,14 @@ func (c *Collector) tree(n *physical.Node, memo map[*physical.Node]*PlanStats) *
 	if s, ok := memo[n]; ok {
 		return s
 	}
-	s := &PlanStats{Op: n.Op.String(), Label: n.Label()}
+	s := &PlanStats{Op: n.Op.String(), Label: n.Label(), Rel: n.Rel}
 	memo[n] = s
 	if cnt := c.stats[n]; cnt != nil {
 		s.Counters = *cnt
+	}
+	if p, ok := c.preds[n]; ok {
+		pred := p
+		s.Predicted = &pred
 	}
 	for _, ch := range n.Children {
 		s.Children = append(s.Children, c.tree(ch, memo))

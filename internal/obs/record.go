@@ -3,10 +3,20 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
 )
+
+// Digest returns a short stable hash of a plan's formatted shape, the
+// plan-identity key run records and the query log group executions by.
+func Digest(s string) string {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, s)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
 
 // RunRecord is the machine-readable outcome of one measured run: the
 // query, the executed plan shape with its per-operator counters, the
@@ -32,6 +42,26 @@ type RunRecord struct {
 	Optimizer *OptimizerSpan `json:"optimizer,omitempty"`
 	Operators *PlanStats     `json:"operators,omitempty"`
 	Decisions []ChoiceTrace  `json:"decisions,omitempty"`
+	// Admission is the governor's per-query account (grant size, queue
+	// wait, degradation) when the query ran governed.
+	Admission *AdmissionStats `json:"admission,omitempty"`
+	// Retries, BranchSwitched, Backoffs, and BackoffTotalNanos carry the
+	// resilient executor's recovery account.
+	Retries           int   `json:"retries,omitempty"`
+	BranchSwitched    bool  `json:"branch_switched,omitempty"`
+	Backoffs          int   `json:"backoffs,omitempty"`
+	BackoffTotalNanos int64 `json:"backoff_total_ns,omitempty"`
+	// PlanDigest is a stable hash of the executed plan's shape, so the
+	// query log can group runs that chose the same plan.
+	PlanDigest string `json:"plan_digest,omitempty"`
+	// Calibration lists the run's interval-calibration verdicts.
+	Calibration []CalibrationVerdict `json:"calibration,omitempty"`
+	// WallNanos is the query's end-to-end latency; UnixNanos stamps when
+	// the record was logged; Error carries the failure text for failed
+	// runs in the query log.
+	WallNanos int64  `json:"wall_ns,omitempty"`
+	UnixNanos int64  `json:"unix_ns,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 var nameRe = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
@@ -124,6 +154,18 @@ func Compare(baseline, current *RunRecord, tolerance float64) []Delta {
 				Record: baseline.Name, Metric: k,
 				Baseline: bv, Current: cv, Ratio: ratio,
 			})
+		}
+	}
+	// Metrics the current record carries that the baseline never had —
+	// newly added series such as calibration q-errors — are informational
+	// drift, never gating: an old baseline must not mask them, and a
+	// size-only baseline must not fail on them.
+	for _, k := range MetricNames(current.Metrics) {
+		if _, ok := baseline.Metrics[k]; ok {
+			continue
+		}
+		if cv := current.Metrics[k]; cv != 0 {
+			deltas = append(deltas, Delta{Record: baseline.Name, Metric: k, Current: cv})
 		}
 	}
 	return deltas

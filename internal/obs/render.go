@@ -36,6 +36,15 @@ func (s *PlanStats) render(b *strings.Builder, depth int, r CostRates, seen map[
 	if c.FaultsAbsorbed > 0 {
 		fmt.Fprintf(b, " faults-absorbed=%d", c.FaultsAbsorbed)
 	}
+	if p := s.Predicted; p != nil {
+		fmt.Fprintf(b, " pred-rows=[%.4g,%.4g]", p.CardLo, p.CardHi)
+		if s.QError > 1 {
+			fmt.Fprintf(b, " q-err=%.3g", s.QError)
+		}
+		if s.Violation {
+			b.WriteString(" VIOLATION")
+		}
+	}
 	b.WriteString(")\n")
 	for _, ch := range s.Children {
 		ch.render(b, depth+1, r, seen)

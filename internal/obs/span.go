@@ -41,6 +41,11 @@ type OptimizerSpan struct {
 	// encodes — Figure 6's series.
 	PlanNodes           int     `json:"plan_nodes"`
 	EncodedAlternatives float64 `json:"encoded_alternatives"`
+	// CostLo and CostHi are the produced plan's compile-time predicted
+	// cost interval — the band (§5) the calibration layer later checks
+	// observed executions against.
+	CostLo float64 `json:"cost_lo,omitempty"`
+	CostHi float64 `json:"cost_hi,omitempty"`
 	// WallNanos is the optimization wall time.
 	WallNanos int64 `json:"wall_ns"`
 }

@@ -25,6 +25,7 @@ import (
 	"math"
 	"sync"
 
+	"dynplan/internal/cost"
 	"dynplan/internal/physical"
 )
 
@@ -47,6 +48,26 @@ type AccessModule struct {
 	// plan included it, the statistic driving the shrinking heuristic.
 	usage       map[*physical.Node]int
 	activations int
+	// planCost is the optimizer's compile-time predicted cost interval for
+	// the whole plan over its uncertainty region, set by the compiling
+	// system (it is not serialized; modules loaded from bytes carry a zero
+	// interval and the calibration layer skips the plan-cost check).
+	planCost cost.Cost
+}
+
+// SetPlanCost attaches the compile-time predicted cost interval.
+func (m *AccessModule) SetPlanCost(c cost.Cost) {
+	m.statsMu.Lock()
+	m.planCost = c
+	m.statsMu.Unlock()
+}
+
+// PlanCost returns the compile-time predicted cost interval (zero for
+// modules loaded from serialized bytes).
+func (m *AccessModule) PlanCost() cost.Cost {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return m.planCost
 }
 
 // NewModule serializes a plan DAG into an access module.

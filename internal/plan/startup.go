@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dynplan/internal/bindings"
+	"dynplan/internal/cost"
 	"dynplan/internal/obs"
 	"dynplan/internal/physical"
 )
@@ -57,6 +58,12 @@ type StartupReport struct {
 	// paper's execution times are "those predicted by the optimizer",
 	// §6 footnote 4).
 	ChosenCost float64
+	// ChosenCostRange is the full predicted cost interval of the chosen
+	// plan under the bindings (ChosenCost is its Lo); with every host
+	// variable bound it typically collapses to a point, but unbound
+	// parameters keep it an interval — the band the calibration layer
+	// compares observed executions against.
+	ChosenCostRange cost.Cost
 	// Decisions is the number of choose-plan operators resolved.
 	Decisions int
 	// Picked records, per resolved choose-plan in resolution order, the
@@ -171,7 +178,7 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 	}
 
 	resolved, used, picked := resolve(root, chooser)
-	chosenCost := model.Evaluate(resolved, env).Cost.Lo
+	chosenRes := model.Evaluate(resolved, env)
 
 	m.statsMu.Lock()
 	m.activations++
@@ -194,15 +201,16 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 	m.statsMu.Unlock()
 
 	return &StartupReport{
-		Chosen:         resolved,
-		ChosenCost:     chosenCost,
-		Decisions:      len(picked),
-		Picked:         picked,
-		Trace:          trace,
-		NodesEvaluated: nodesEvaluated,
-		SimCPUSeconds:  float64(nodesEvaluated) * opt.Params.StartupNodeTime,
-		SimIOSeconds:   m.ReadTime(opt.Params),
-		MeasuredCPU:    time.Since(began),
+		Chosen:          resolved,
+		ChosenCost:      chosenRes.Cost.Lo,
+		ChosenCostRange: chosenRes.Cost,
+		Decisions:       len(picked),
+		Picked:          picked,
+		Trace:           trace,
+		NodesEvaluated:  nodesEvaluated,
+		SimCPUSeconds:   float64(nodesEvaluated) * opt.Params.StartupNodeTime,
+		SimIOSeconds:    m.ReadTime(opt.Params),
+		MeasuredCPU:     time.Since(began),
 	}, nil
 }
 

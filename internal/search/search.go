@@ -194,14 +194,14 @@ func Optimize(q *logical.Query, env *bindings.Env, cfg Config) (*Result, error) 
 	o.stats.Elapsed = time.Since(start)
 	return &Result{
 		Plan: w.Plan, Cost: w.Cost, Card: w.Card, Memo: o.memo, Stats: o.stats,
-		Span: o.span(w.Plan),
+		Span: o.span(w.Plan, w.Cost),
 	}, nil
 }
 
 // span assembles the optimizer span the observability layer exposes: the
-// memo's size, the enumeration and pruning tallies, and the shape of the
-// produced plan.
-func (o *Optimizer) span(plan *physical.Node) *obs.OptimizerSpan {
+// memo's size, the enumeration and pruning tallies, the shape of the
+// produced plan, and its predicted cost interval.
+func (o *Optimizer) span(plan *physical.Node, c cost.Cost) *obs.OptimizerSpan {
 	return &obs.OptimizerSpan{
 		Goals:               o.memo.Len(),
 		Candidates:          o.stats.Candidates,
@@ -215,6 +215,8 @@ func (o *Optimizer) span(plan *physical.Node) *obs.OptimizerSpan {
 		PlanChoosePlans:     plan.CountChoosePlans(),
 		PlanNodes:           plan.CountNodes(),
 		EncodedAlternatives: plan.Alternatives(),
+		CostLo:              c.Lo,
+		CostHi:              c.Hi,
 		WallNanos:           o.stats.Elapsed.Nanoseconds(),
 	}
 }

@@ -83,10 +83,15 @@ func (r *ExecResult) ExplainAnalyze(p Params) string {
 
 // RunRecordFor packages the execution into a machine-readable run record:
 // the observed plan shape with per-operator counters (when observability
-// was enabled), the start-up decisions, the I/O account as metrics, and
-// the simulated cost as the CI-gated total.
+// was enabled), the start-up decisions, the I/O account as metrics, the
+// simulated cost as the CI-gated total, plus the resilience account
+// (retries, backoffs), the governor's admission stats, and the workload
+// observatory's calibration verdicts when the execution carried them.
+// Calibration also surfaces as the informational "q-error-max" and
+// "interval-violations" metrics — present only when verdicts exist, so
+// committed baselines from uncalibrated runs never drift against them.
 func (r *ExecResult) RunRecordFor(name, query string, p Params) *RunRecord {
-	return &RunRecord{
+	rec := &RunRecord{
 		Name:  name,
 		Query: query,
 		Metrics: map[string]float64{
@@ -96,8 +101,30 @@ func (r *ExecResult) RunRecordFor(name, query string, p Params) *RunRecord {
 			"page-writes":     float64(r.PageWrites),
 			"tuple-ops":       float64(r.TupleOps),
 		},
-		SimCostTotal: r.SimulatedSeconds(p),
-		Operators:    r.Operators,
-		Decisions:    r.Decisions,
+		SimCostTotal:      r.SimulatedSeconds(p),
+		Operators:         r.Operators,
+		Decisions:         r.Decisions,
+		Admission:         r.Admission,
+		Retries:           r.Retries,
+		BranchSwitched:    r.BranchSwitched,
+		Backoffs:          len(r.Backoffs),
+		BackoffTotalNanos: r.BackoffTotal.Nanoseconds(),
+		PlanDigest:        r.PlanDigest,
+		Calibration:       r.Calibration,
 	}
+	if len(r.Calibration) > 0 {
+		maxQ := 0.0
+		violations := 0
+		for _, v := range r.Calibration {
+			if v.QError > maxQ {
+				maxQ = v.QError
+			}
+			if v.Violation {
+				violations++
+			}
+		}
+		rec.Metrics["q-error-max"] = maxQ
+		rec.Metrics["interval-violations"] = float64(violations)
+	}
+	return rec
 }

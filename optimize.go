@@ -131,12 +131,15 @@ func (p *Plan) Trace() *OptimizerSpan { return p.res.Span }
 func (p *Plan) Root() *physical.Node { return p.res.Plan }
 
 // Module serializes the plan into an access module, the on-disk form read
-// at start-up-time.
+// at start-up-time. The module carries the plan's compile-time predicted
+// cost interval, the band the workload observatory's plan-level
+// calibration verdict checks observed executions against.
 func (p *Plan) Module() (*Module, error) {
 	m, err := plan.NewModule(p.res.Plan)
 	if err != nil {
 		return nil, err
 	}
+	m.SetPlanCost(p.res.Cost)
 	return &Module{sys: p.sys, mod: m}, nil
 }
 

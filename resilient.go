@@ -90,6 +90,28 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // The result's Retries, BranchSwitched, FaultsAbsorbed, Backoffs, and
 // EffectiveMemoryPages fields report what the execution absorbed.
 func (db *Database) ExecuteResilient(ctx context.Context, m *Module, b Bindings, pol RetryPolicy) (*ExecResult, error) {
+	reg := db.metrics.Load()
+	if !reg.Enabled() || obs.Suppressed(ctx) {
+		return db.executeResilient(ctx, m, b, pol)
+	}
+	// This is the outermost recording layer for this query: suppress the
+	// per-attempt inner recording and record the whole query — all
+	// retries, all backoff — as one sample once the outcome is known.
+	start := time.Now()
+	res, err := db.executeResilient(obs.SuppressRecording(ctx), m, b, pol)
+	wall := time.Since(start)
+	if err != nil {
+		reg.RecordQuery(obs.QuerySample{WallNanos: wall.Nanoseconds(), Failed: true})
+		reg.LogQuery(db.queryLogRecord(nil, wall, err))
+		return nil, err
+	}
+	reg.RecordQuery(querySampleOf(res, wall))
+	reg.LogQuery(db.queryLogRecord(res, wall, nil))
+	return res, nil
+}
+
+// executeResilient is the retry loop behind ExecuteResilient.
+func (db *Database) executeResilient(ctx context.Context, m *Module, b Bindings, pol RetryPolicy) (*ExecResult, error) {
 	pol = pol.withDefaults()
 	mem := b.MemoryPages
 	avoid := make(map[*physical.Node]bool)
@@ -142,7 +164,7 @@ func (db *Database) ExecuteResilient(ctx context.Context, m *Module, b Bindings,
 			branchSwitched = true
 		}
 
-		res, err := db.ExecuteContext(ctx, rep.Chosen, bb)
+		res, err := db.executeInner(ctx, rep.Chosen, bb, m.mod.PlanCost())
 		if err == nil {
 			db.recordPlanOutcome(rep.Chosen, "")
 			res.Retries = retries
@@ -229,7 +251,9 @@ func (db *Database) recordPlanOutcome(chosen *physical.Node, failedRel string) {
 		return
 	}
 	if failedRel != "" {
-		db.breaker.RecordFailure(failedRel)
+		if db.breaker.RecordFailure(failedRel) {
+			db.metrics.Load().RecordBreakerTrip()
+		}
 		return
 	}
 	if chosen == nil {
