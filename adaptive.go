@@ -1,14 +1,10 @@
 package dynplan
 
 import (
-	"context"
 	"errors"
 	"math"
 	"math/rand"
 
-	"dynplan/internal/adaptive"
-	"dynplan/internal/exec"
-	"dynplan/internal/obs"
 	"dynplan/internal/physical"
 	"dynplan/internal/storage"
 )
@@ -50,61 +46,6 @@ func (r *AdaptiveResult) SimulatedSeconds(p Params) float64 {
 		float64(r.RandPageReads)*p.RandIOTime +
 		float64(r.PageWrites)*p.SeqPageTime +
 		float64(r.TupleOps)*p.TupleCPUTime
-}
-
-// ExecuteAdaptive runs a dynamic plan with run-time choose-plan decisions
-// — the §7 extension of the paper. Instead of trusting the bound
-// selectivities, decision procedures *evaluate subplans*: each base
-// relation's access path is materialized into a temporary, its observed
-// cardinality corrects the estimates, and only then are the remaining
-// choose-plan operators (join orders, algorithms, build sides) decided.
-// This makes the execution robust to selectivity estimation error at the
-// price of materialization I/O, which is charged to the result's
-// account.
-//
-// The plan must be dynamic (contain choose-plan operators) or at least a
-// valid plan DAG; bindings must cover every host variable.
-func (db *Database) ExecuteAdaptive(p *Plan, b Bindings) (*AdaptiveResult, error) {
-	return db.ExecuteAdaptiveContext(context.Background(), p, b)
-}
-
-// ExecuteAdaptiveContext is ExecuteAdaptive with a context: cancellation
-// and deadline expiry stop both the materializations and the final plan
-// within a bounded number of operator calls. An installed fault injector
-// (InjectFaults) applies to base-table reads; in-memory temporaries are
-// exempt.
-func (db *Database) ExecuteAdaptiveContext(ctx context.Context, p *Plan, b Bindings) (*AdaptiveResult, error) {
-	acc := &storage.Accountant{}
-	var collector *obs.Collector
-	if db.observing.Load() {
-		collector = obs.NewCollector()
-	}
-	e := &exec.DB{
-		Catalog: db.sys.cat,
-		Store:   db.store,
-		Indexes: db.indexes,
-		Acc:     acc,
-		Ctx:     ctx,
-		Faults:  db.injector(),
-		Obs:     collector,
-		Wrap:    db.wrap,
-	}
-	res, err := adaptive.Run(e, p.Root(), b.internal(), adaptive.Options{Params: db.sys.params})
-	if err != nil {
-		return nil, err
-	}
-	return &AdaptiveResult{
-		Rows:                  res.Rows,
-		Columns:               res.Schema,
-		Chosen:                res.Chosen,
-		Materialized:          res.Materialized,
-		ObservedSelectivities: res.Observed,
-		PredictedCost:         res.PredictedCost,
-		SeqPageReads:          acc.SeqPageReads(),
-		RandPageReads:         acc.RandPageReads(),
-		PageWrites:            acc.PageWrites(),
-		TupleOps:              acc.TupleOps(),
-	}, nil
 }
 
 // GenerateSkewedData fills the catalog relations like GenerateData but

@@ -1,14 +1,12 @@
 package dynplan
 
 import (
-	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"time"
 
 	"dynplan/internal/btree"
-	"dynplan/internal/cost"
 	"dynplan/internal/exec"
 	"dynplan/internal/governor"
 	"dynplan/internal/obs"
@@ -50,6 +48,9 @@ type Database struct {
 	// wrap, when non-nil, decorates every compiled iterator (the
 	// leak-checking hook of the chaos harness; see exec.LeakChecker).
 	wrap func(exec.Iterator, *physical.Node) exec.Iterator
+	// pipes holds the pre-compiled execution stage stacks every Execute*
+	// façade selects from; assembled once at OpenDatabase (pipeline.go).
+	pipes *pipelines
 }
 
 // FaultConfig parameterizes deterministic fault injection on base-table
@@ -91,6 +92,7 @@ func (s *System) OpenDatabase() *Database {
 		store:   storage.NewStore(),
 		indexes: make(map[string]map[string]*btree.Tree),
 		loaded:  make(map[string]bool),
+		pipes:   newPipelines(),
 	}
 }
 
@@ -213,6 +215,13 @@ type ExecResult struct {
 	// describing the recovery decision and backoff; for explicit
 	// activations use Activation.DecisionTrace).
 	Decisions []obs.ChoiceTrace
+
+	// Adaptive carries the run-time decision account when the query ran
+	// through the adaptive executor (ExecuteAdaptive or
+	// ExecOptions.Adaptive): the final plan, materialization count,
+	// observed selectivities, and corrected cost prediction. Nil on every
+	// other path.
+	Adaptive *AdaptiveResult
 }
 
 // SimulatedSeconds converts the account to simulated execution time under
@@ -222,105 +231,6 @@ func (r *ExecResult) SimulatedSeconds(p Params) float64 {
 		float64(r.RandPageReads)*p.RandIOTime +
 		float64(r.PageWrites)*p.SeqPageTime +
 		float64(r.TupleOps)*p.TupleCPUTime
-}
-
-// Execute runs a resolved plan (a static plan, or the Chosen plan of an
-// Activation) under the bindings.
-func (db *Database) Execute(root *physical.Node, b Bindings) (*ExecResult, error) {
-	return db.ExecuteContext(context.Background(), root, b)
-}
-
-// ExecuteContext is Execute with a context: once the context is canceled
-// or its deadline passes, execution stops within a bounded number of
-// operator calls with an error wrapping ErrCanceled or
-// ErrDeadlineExceeded. When a fault injector is installed (InjectFaults),
-// base-table page reads run through it.
-func (db *Database) ExecuteContext(ctx context.Context, root *physical.Node, b Bindings) (*ExecResult, error) {
-	return db.executeInner(ctx, root, b, cost.Cost{})
-}
-
-// executeInner is the common execution funnel behind every Execute*
-// variant. planCost, when non-zero, is the optimizer's compile-time
-// predicted cost interval for the plan — the band the workload
-// observatory's plan-level calibration verdict checks the observed
-// simulated cost against.
-func (db *Database) executeInner(ctx context.Context, root *physical.Node, b Bindings, planCost cost.Cost) (*ExecResult, error) {
-	reg := db.metrics.Load()
-	var start time.Time
-	if reg.Enabled() {
-		start = time.Now()
-	}
-	acc := &storage.Accountant{}
-	// Each execution collects into its own fresh window: the stats tree
-	// describes this run, and concurrent executions of the same plan never
-	// share counters. The injector pointer is snapshotted once, so a
-	// concurrent InjectFaults/ClearFaults cannot swap it mid-query.
-	var collector *obs.Collector
-	if db.observing.Load() || reg.Enabled() {
-		collector = obs.NewCollector()
-	}
-	inj := db.injector()
-	e := &exec.DB{
-		Catalog: db.sys.cat,
-		Store:   db.store,
-		Indexes: db.indexes,
-		Acc:     acc,
-		Faults:  inj,
-		Obs:     collector,
-		Wrap:    db.wrap,
-	}
-	absorbedBefore := inj.Stats().Absorbed
-	rows, schema, err := e.RunContext(ctx, root, b.internal())
-	if err != nil {
-		if reg.Enabled() {
-			reg.Executions.Add(1)
-			if !obs.Suppressed(ctx) {
-				wall := time.Since(start)
-				reg.RecordQuery(obs.QuerySample{WallNanos: wall.Nanoseconds(), Failed: true})
-				reg.LogQuery(db.queryLogRecord(nil, wall, err))
-			}
-		}
-		return nil, err
-	}
-	out := &ExecResult{
-		Columns:              schema,
-		SeqPageReads:         acc.SeqPageReads(),
-		RandPageReads:        acc.RandPageReads(),
-		PageWrites:           acc.PageWrites(),
-		TupleOps:             acc.TupleOps(),
-		FaultsAbsorbed:       inj.Stats().Absorbed - absorbedBefore,
-		EffectiveMemoryPages: b.MemoryPages * inj.MemoryScale(),
-	}
-	out.Rows = make([][]int64, len(rows))
-	for i, r := range rows {
-		out.Rows[i] = r
-	}
-	if reg.Enabled() {
-		// Annotate the resolved tree with the cost model's predicted
-		// cardinality intervals under this execution's bindings, then
-		// compare each against the observed actuals. When the caller
-		// supplied no compile-time plan interval, the model's own
-		// evaluation of the resolved plan serves as the cost prediction.
-		model := physical.NewModel(db.sys.params)
-		predicted := exec.AnnotatePredictions(collector, model, b.internal().Env(), root)
-		if planCost.Hi <= 0 {
-			planCost = predicted
-		}
-		out.Operators = collector.Tree(root)
-		out.PlanDigest = obs.Digest(root.Format())
-		out.Calibration = obs.Calibrate(out.Operators, planCost.Lo, planCost.Hi, out.SimulatedSeconds(db.sys.params))
-		reg.Executions.Add(1)
-		reg.RecordOperators(out.Operators)
-		reg.RecordCalibration(out.Calibration)
-		if !obs.Suppressed(ctx) {
-			wall := time.Since(start)
-			reg.RecordQuery(querySampleOf(out, wall))
-			reg.LogQuery(db.queryLogRecord(out, wall, nil))
-		}
-	} else {
-		out.Operators = collector.Tree(root)
-	}
-	return out, nil
 }
 
 // Project returns a copy of the result restricted (and reordered) to the
@@ -359,29 +269,4 @@ func (r *ExecResult) Project(cols []string) (*ExecResult, error) {
 		out.Rows[i] = projected
 	}
 	return out, nil
-}
-
-// ExecutePlan runs a static Plan directly.
-func (db *Database) ExecutePlan(p *Plan, b Bindings) (*ExecResult, error) {
-	return db.ExecutePlanContext(context.Background(), p, b)
-}
-
-// ExecutePlanContext is ExecutePlan with a context.
-func (db *Database) ExecutePlanContext(ctx context.Context, p *Plan, b Bindings) (*ExecResult, error) {
-	if p.IsDynamic() {
-		return nil, fmt.Errorf("dynplan: cannot execute a dynamic plan directly; build its Module and Activate it first")
-	}
-	// The plan carries its compile-time predicted cost interval; the
-	// observatory's plan-level calibration verdict checks against it.
-	return db.executeInner(ctx, p.Root(), b, p.res.Cost)
-}
-
-// ExecuteActivation runs the plan an activation chose.
-func (db *Database) ExecuteActivation(a *Activation, b Bindings) (*ExecResult, error) {
-	return db.ExecuteContext(context.Background(), a.Chosen(), b)
-}
-
-// ExecuteActivationContext is ExecuteActivation with a context.
-func (db *Database) ExecuteActivationContext(ctx context.Context, a *Activation, b Bindings) (*ExecResult, error) {
-	return db.ExecuteContext(ctx, a.Chosen(), b)
 }

@@ -1,12 +1,9 @@
 package dynplan
 
 import (
-	"context"
-	"errors"
 	"time"
 
 	"dynplan/internal/governor"
-	"dynplan/internal/obs"
 )
 
 // GovernorConfig parameterizes the database's resource governor: the
@@ -108,71 +105,4 @@ func (db *Database) ResizeMemoryPool(totalPages float64) {
 // empty when no breaker is installed or none has tripped.
 func (db *Database) BreakerTrips() map[string]int64 {
 	return db.breaker.Trips()
-}
-
-// ExecuteGoverned is ExecuteResilient behind the resource governor: the
-// query waits for admission (bounded queue, load shedding with
-// ErrAdmission), receives a memory grant the broker may degrade below
-// b.MemoryPages — the grant, not the caller's number, feeds start-up
-// processing, so choose-plan resolution picks low-memory branches under
-// pressure — runs under the governor's per-query deadline, and releases
-// its grant on every exit path. The result's Admission field reports the
-// negotiation. Without an installed governor it falls back to
-// ExecuteResilient unchanged.
-func (db *Database) ExecuteGoverned(ctx context.Context, m *Module, b Bindings, pol RetryPolicy) (*ExecResult, error) {
-	reg := db.metrics.Load()
-	if !reg.Enabled() || obs.Suppressed(ctx) {
-		return db.executeGoverned(ctx, m, b, pol)
-	}
-	// Outermost recording layer: the sample covers admission wait plus the
-	// whole resilient execution. Sheds count separately — a shed query
-	// never started, so it is not a query error.
-	start := time.Now()
-	res, err := db.executeGoverned(obs.SuppressRecording(ctx), m, b, pol)
-	wall := time.Since(start)
-	if err != nil {
-		if errors.Is(err, ErrAdmission) {
-			reg.RecordShed()
-		} else {
-			reg.RecordQuery(obs.QuerySample{WallNanos: wall.Nanoseconds(), Failed: true})
-			reg.LogQuery(db.queryLogRecord(nil, wall, err))
-		}
-		return nil, err
-	}
-	reg.RecordQuery(querySampleOf(res, wall))
-	reg.LogQuery(db.queryLogRecord(res, wall, nil))
-	return res, nil
-}
-
-// executeGoverned is the admission-controlled execution behind
-// ExecuteGoverned.
-func (db *Database) executeGoverned(ctx context.Context, m *Module, b Bindings, pol RetryPolicy) (*ExecResult, error) {
-	if db.gov == nil {
-		return db.ExecuteResilient(ctx, m, b, pol)
-	}
-	ticket, qctx, err := db.gov.Acquire(ctx, b.MemoryPages)
-	if err != nil {
-		return nil, err
-	}
-	defer ticket.Release()
-	if reg := db.metrics.Load(); reg.Enabled() {
-		reg.PoolPages.Set(db.gov.Broker().Stats().TotalPages)
-	}
-
-	bb := b
-	bb.MemoryPages = ticket.Pages
-	res, err := db.ExecuteResilient(qctx, m, bb, pol)
-	if err != nil {
-		return nil, err
-	}
-	s := db.gov.Stats()
-	res.Admission = &obs.AdmissionStats{
-		RequestedPages: ticket.Requested,
-		GrantedPages:   ticket.Pages,
-		Degraded:       ticket.Degraded,
-		QueueWaitNanos: ticket.Wait.Nanoseconds(),
-		ShedQueueFull:  s.ShedQueueFull,
-		ShedTimeout:    s.ShedTimeout,
-	}
-	return res, nil
 }

@@ -136,16 +136,24 @@ type Ticket struct {
 	once   sync.Once
 }
 
-// Acquire admits a query and grants it memory: it waits (bounded by
-// QueueTimeout, the queue bound, and ctx) for an execution slot, then for
-// a grant of up to wantPages, and returns the ticket plus a derived
-// context carrying the per-query deadline, if the governor has one.
-// Rejections — queue full, wait expired — fail with an error wrapping
-// qerr.ErrAdmission; context cancellation with the qerr context taxonomy.
-// On success the caller must Release the ticket when the query finishes.
-func (g *Governor) Acquire(ctx context.Context, wantPages float64) (*Ticket, context.Context, error) {
+// Admission is a claimed execution slot awaiting its memory grant — the
+// intermediate state between the governor's two gates. Call Grant exactly
+// once; it consumes the admission (returning the slot on failure), so an
+// abandoned Admission leaks its slot.
+type Admission struct {
+	g     *Governor
+	began time.Time
+}
+
+// Admit claims an execution slot: it waits (bounded by QueueTimeout, the
+// queue bound, and ctx) for a free slot, shedding the query with an error
+// wrapping qerr.ErrAdmission when the queue is full or the wait budget
+// expires; context cancellation surfaces through the qerr taxonomy. The
+// returned Admission carries the slot into Grant, which completes the
+// acquisition.
+func (g *Governor) Admit(ctx context.Context) (*Admission, error) {
 	if err := qerr.FromContext(ctx.Err()); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	began := time.Now()
 
@@ -157,7 +165,7 @@ func (g *Governor) Acquire(ctx context.Context, wantPages float64) (*Ticket, con
 		if g.queued >= g.cfg.MaxQueued {
 			g.shedQueueFull++
 			g.mu.Unlock()
-			return nil, nil, fmt.Errorf("governor: admission queue full (%d waiting, %d running): %w",
+			return nil, fmt.Errorf("governor: admission queue full (%d waiting, %d running): %w",
 				g.cfg.MaxQueued, g.cfg.MaxConcurrent, qerr.ErrAdmission)
 		}
 		g.queued++
@@ -183,11 +191,23 @@ func (g *Governor) Acquire(ctx context.Context, wantPages float64) (*Ticket, con
 				g.shedTimeout++
 			}
 			g.mu.Unlock()
-			return nil, nil, err
+			return nil, err
 		}
 		g.mu.Unlock()
 	}
+	return &Admission{g: g, began: began}, nil
+}
 
+// Grant draws the admitted query's memory grant — up to wantPages, which
+// the broker may degrade down to MinGrantPages under pressure — and
+// returns the ticket plus a derived context carrying the per-query
+// deadline, if the governor has one. On failure the slot is returned and
+// the query counts as shed (unless the caller's context ended, which is a
+// cancellation, not a load-shedding decision). The ticket's Wait spans
+// both gates: slot wait plus grant wait. On success the caller must
+// Release the ticket when the query finishes.
+func (a *Admission) Grant(ctx context.Context, wantPages float64) (*Ticket, context.Context, error) {
+	g := a.g
 	// Memory grant, under its own wait budget: slot holders release pages
 	// as they finish, so a bounded wait here cannot deadlock.
 	want := wantPages
@@ -200,8 +220,6 @@ func (g *Governor) Acquire(ctx context.Context, wantPages float64) (*Ticket, con
 	if err != nil {
 		g.slots <- struct{}{}
 		if cerr := qerr.FromContext(ctx.Err()); cerr != nil {
-			// The caller's own context ended; that is a cancellation, not
-			// a load-shedding decision.
 			return nil, nil, cerr
 		}
 		g.mu.Lock()
@@ -210,7 +228,7 @@ func (g *Governor) Acquire(ctx context.Context, wantPages float64) (*Ticket, con
 		return nil, nil, err
 	}
 
-	wait := time.Since(began)
+	wait := time.Since(a.began)
 	g.mu.Lock()
 	g.inFlight++
 	g.admitted++
@@ -230,6 +248,18 @@ func (g *Governor) Acquire(ctx context.Context, wantPages float64) (*Ticket, con
 		g:         g,
 		cancel:    cancel,
 	}, qctx, nil
+}
+
+// Acquire admits a query and grants it memory in one call — Admit then
+// Grant. Rejections at either gate fail with an error wrapping
+// qerr.ErrAdmission; context cancellation with the qerr context taxonomy.
+// On success the caller must Release the ticket when the query finishes.
+func (g *Governor) Acquire(ctx context.Context, wantPages float64) (*Ticket, context.Context, error) {
+	adm, err := g.Admit(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return adm.Grant(ctx, wantPages)
 }
 
 // Release returns the ticket's grant and slot; it is idempotent.

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -372,15 +371,5 @@ func TestCompareReportsCurrentOnlyMetrics(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("current-only metric not reported")
-	}
-}
-
-func TestSuppressRecording(t *testing.T) {
-	ctx := context.Background()
-	if Suppressed(ctx) {
-		t.Fatal("fresh context suppressed")
-	}
-	if !Suppressed(SuppressRecording(ctx)) {
-		t.Fatal("SuppressRecording not detected")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 
 	"dynplan/internal/cost"
@@ -110,6 +111,24 @@ func Load(raw []byte) (*AccessModule, error) {
 
 // Root returns the plan DAG.
 func (m *AccessModule) Root() *physical.Node { return m.root }
+
+// Relations returns the distinct base relations any alternative of the
+// plan DAG reads, sorted for determinism — the set a per-relation circuit
+// breaker screens before activation.
+func (m *AccessModule) Relations() []string {
+	seen := make(map[string]bool)
+	m.root.Walk(func(n *physical.Node) {
+		if n.Rel != "" {
+			seen[n.Rel] = true
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // NodeCount returns the number of distinct operator nodes, the paper's
 // plan-size metric (Figure 6).

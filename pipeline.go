@@ -1,0 +1,716 @@
+package dynplan
+
+// The execution pipeline: every public Execute* façade routes through one
+// stack of composable stages assembled here, so admission, memory grants,
+// breaker consultation, retry/backoff, choose-plan activation, execution,
+// and workload recording exist exactly once instead of being hand-wired
+// per entry point. The paper's start-up-time processing (§4) is the
+// Activate stage: the memory binding it resolves choose-plans against is
+// whatever the Grant stage actually obtained, not what the caller asked
+// for.
+//
+// A stage is a middleware function over the shared per-query execState;
+// the innermost stage runs the resolved plan. Stacks are compiled once
+// per Database (OpenDatabase) and validated against the canonical order
+//
+//	Record → Admit → Grant → Breaker → Retry → Activate → Run
+//
+// Record is always the single outermost stage, which is what makes
+// exactly-one-recording per query structural: there is no inner layer
+// left that could double-count, so no context mark suppressing inner
+// recording is needed.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"dynplan/internal/adaptive"
+	"dynplan/internal/cost"
+	"dynplan/internal/exec"
+	"dynplan/internal/governor"
+	"dynplan/internal/obs"
+	"dynplan/internal/physical"
+	"dynplan/internal/plan"
+	"dynplan/internal/qerr"
+	"dynplan/internal/storage"
+)
+
+// stageKind identifies one composable stage of the execution pipeline.
+type stageKind int
+
+const (
+	// stageRecord is the single outermost stage: it measures the query's
+	// wall time and records exactly one query-level sample and run record
+	// into the workload observatory (sheds counted apart from errors).
+	stageRecord stageKind = iota
+	// stageAdmit claims an execution slot from the resource governor
+	// (bounded queue, load shedding with ErrAdmission); a no-op when no
+	// governor is installed.
+	stageAdmit
+	// stageGrant draws the admitted query's memory grant — possibly
+	// degraded below the request — and makes the grant, not the caller's
+	// number, the memory binding every downstream stage sees. It releases
+	// the ticket on every exit path and attaches AdmissionStats.
+	stageGrant
+	// stageBreaker snapshots which of the module's relations have open
+	// circuits, excluding them from the whole execution's choice set.
+	stageBreaker
+	// stageRetry is the retrying fallback executor: classify the failure,
+	// downgrade memory or exclude picked branches, back off, re-enter the
+	// Activate stage.
+	stageRetry
+	// stageActivate performs start-up-time processing: choose-plan
+	// resolution from the current grant and bindings, with avoid/blocked
+	// pruning and circuit-open fail-fast.
+	stageActivate
+	// stageRun executes the resolved plan through the Volcano engine (or
+	// the adaptive run-time decision procedures) and assembles the base
+	// ExecResult.
+	stageRun
+)
+
+// stageNames renders kinds in errors and tests.
+var stageNames = map[stageKind]string{
+	stageRecord:   "Record",
+	stageAdmit:    "Admit",
+	stageGrant:    "Grant",
+	stageBreaker:  "Breaker",
+	stageRetry:    "Retry",
+	stageActivate: "Activate",
+	stageRun:      "Run",
+}
+
+func (k stageKind) String() string {
+	if n, ok := stageNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("stage(%d)", int(k))
+}
+
+// ErrPipeline reports an invalid execution pipeline: a stage stack that
+// violates the canonical order or an Exec call whose options do not fit
+// its query target. Match it with errors.Is.
+var ErrPipeline = errors.New("dynplan: invalid execution pipeline")
+
+// PipelineError carries the offending stack and the rule it broke; it
+// unwraps to ErrPipeline.
+type PipelineError struct {
+	// Stack renders the stage stack ("Record→Retry→Run"); empty for
+	// target/option mismatches raised by Exec.
+	Stack string
+	// Reason is the violated rule.
+	Reason string
+}
+
+func (e *PipelineError) Error() string {
+	if e.Stack == "" {
+		return fmt.Sprintf("dynplan: invalid execution pipeline: %s", e.Reason)
+	}
+	return fmt.Sprintf("dynplan: invalid execution pipeline [%s]: %s", e.Stack, e.Reason)
+}
+
+func (e *PipelineError) Unwrap() error { return ErrPipeline }
+
+// formatStack renders a stage stack for error messages.
+func formatStack(kinds []stageKind) string {
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = k.String()
+	}
+	return strings.Join(parts, "→")
+}
+
+// execState is one query's mutable state, threaded through every stage of
+// its stack. Exactly one of module (resolved per attempt by Activate) or
+// root (pre-resolved) identifies the plan; run executes it.
+type execState struct {
+	db *Database
+
+	// module is the dynamic access module to activate per attempt; nil
+	// when the target is already a resolved plan.
+	module *Module
+	// root is the resolved plan the Run stage executes; the Activate
+	// stage overwrites it per attempt when module is set.
+	root *physical.Node
+	// planCost is the compile-time predicted cost interval the
+	// calibration layer checks observed executions against (zero: the
+	// model's own evaluation of the resolved plan substitutes).
+	planCost cost.Cost
+
+	// b is the caller's bindings; mem is the memory the next activation
+	// and execution run under — initially b.MemoryPages, rewritten by the
+	// Grant stage (the broker's grant) and the Retry stage (downgrades).
+	b   Bindings
+	mem float64
+	// pol bounds the Retry stage.
+	pol RetryPolicy
+	// run is the terminal executor (runStatic or runAdaptive).
+	run func(ctx context.Context, st *execState) (*ExecResult, error)
+
+	// gov and adm are the Admit stage's governor snapshot and claimed
+	// slot; ticket is the Grant stage's memory claim.
+	gov    *governor.Governor
+	adm    *governor.Admission
+	ticket *governor.Ticket
+	// blocked is the Breaker stage's snapshot of open-circuit relations.
+	blocked map[string]bool
+	// avoid marks plan nodes failed attempts have poisoned; written by
+	// Retry, consumed by Activate.
+	avoid map[*physical.Node]bool
+	// rep is the latest activation's report; firstPicked and
+	// branchSwitched track choose-plan drift across attempts.
+	rep            *plan.StartupReport
+	firstPicked    []*physical.Node
+	branchSwitched bool
+	// attempt counts executions (1-based inside Retry); retries,
+	// backoffs, and retryTrace accumulate the recovery account.
+	attempt    int
+	retries    int
+	backoffs   []time.Duration
+	retryTrace []obs.ChoiceTrace
+}
+
+// pipelineFunc is a compiled (sub-)stack: the continuation each stage
+// hands the state to.
+type pipelineFunc func(ctx context.Context, st *execState) (*ExecResult, error)
+
+// stageFunc is one composable stage: do work, call next (zero or more
+// times — Retry calls it per attempt), decorate the result.
+type stageFunc func(ctx context.Context, st *execState, next pipelineFunc) (*ExecResult, error)
+
+// stageAbort wraps an error that must not be retried or reclassified by
+// outer stages (an activation refusal rather than a run failure); the
+// pipeline entry unwraps it before the caller sees it.
+type stageAbort struct{ err error }
+
+func (a *stageAbort) Error() string { return a.err.Error() }
+func (a *stageAbort) Unwrap() error { return a.err }
+
+// pipeline is a compiled, validated stage stack.
+type pipeline struct {
+	kinds []stageKind
+	fn    pipelineFunc
+}
+
+// compilePipeline validates the stack against the canonical stage order
+// and composes it into one call chain. Validation fails fast with a
+// *PipelineError (wrapping ErrPipeline):
+//
+//   - the stack must start with Record and end with Run (each exactly once),
+//   - stages must appear in canonical order, without duplicates,
+//   - Admit and Grant come as a pair,
+//   - Retry and Breaker require an Activate stage to steer.
+func compilePipeline(kinds ...stageKind) (*pipeline, error) {
+	bad := func(reason string) (*pipeline, error) {
+		return nil, &PipelineError{Stack: formatStack(kinds), Reason: reason}
+	}
+	if len(kinds) < 2 {
+		return bad("a pipeline needs at least the Record and Run stages")
+	}
+	seen := make(map[stageKind]bool, len(kinds))
+	for i, k := range kinds {
+		if _, ok := stageNames[k]; !ok {
+			return bad(fmt.Sprintf("unknown stage %v", k))
+		}
+		if seen[k] {
+			return bad(fmt.Sprintf("duplicate %v stage", k))
+		}
+		seen[k] = true
+		if i > 0 && kinds[i-1] >= k {
+			return bad(fmt.Sprintf("%v cannot follow %v (canonical order: %s)",
+				k, kinds[i-1], formatStack([]stageKind{stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageActivate, stageRun})))
+		}
+	}
+	if kinds[0] != stageRecord {
+		return bad("the Record stage must be outermost, so exactly one layer records each query")
+	}
+	if kinds[len(kinds)-1] != stageRun {
+		return bad("the Run stage must be innermost")
+	}
+	if seen[stageAdmit] != seen[stageGrant] {
+		return bad("Admit and Grant form a pair: a slot without a grant (or a grant without admission) leaks")
+	}
+	if seen[stageRetry] && !seen[stageActivate] {
+		return bad("Retry requires an Activate stage to re-resolve choose-plans onto surviving branches")
+	}
+	if seen[stageBreaker] && !seen[stageActivate] {
+		return bad("Breaker requires an Activate stage to exclude blocked relations")
+	}
+
+	fn := pipelineFunc(func(ctx context.Context, st *execState) (*ExecResult, error) {
+		return st.run(ctx, st)
+	})
+	for i := len(kinds) - 2; i >= 0; i-- {
+		stage := stageOf(kinds[i])
+		next := fn
+		fn = func(ctx context.Context, st *execState) (*ExecResult, error) {
+			return stage(ctx, st, next)
+		}
+	}
+	return &pipeline{kinds: kinds, fn: fn}, nil
+}
+
+// mustPipeline compiles one of the Database's own stacks; these are
+// program constants, so failure is a programming error.
+func mustPipeline(kinds ...stageKind) *pipeline {
+	p, err := compilePipeline(kinds...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// exec runs the compiled stack over the state, unwrapping stage-internal
+// abort markers before the caller sees the error.
+func (p *pipeline) exec(ctx context.Context, st *execState) (*ExecResult, error) {
+	res, err := p.fn(ctx, st)
+	if err != nil {
+		var abort *stageAbort
+		if errors.As(err, &abort) {
+			return nil, abort.err
+		}
+	}
+	return res, err
+}
+
+// stageOf maps a kind to its implementation.
+func stageOf(k stageKind) stageFunc {
+	switch k {
+	case stageRecord:
+		return recordStage
+	case stageAdmit:
+		return admitStage
+	case stageGrant:
+		return grantStage
+	case stageBreaker:
+		return breakerStage
+	case stageRetry:
+		return retryStage
+	case stageActivate:
+		return activateStage
+	default:
+		panic(fmt.Sprintf("dynplan: stage %v has no implementation", k))
+	}
+}
+
+// pipelines holds the Database's pre-compiled stage stacks, assembled
+// once at OpenDatabase. The stacks are fixed; each stage binds to the
+// database's currently configured governor, injector, and observatory
+// when the query enters it, so installing a governor never recompiles.
+type pipelines struct {
+	// plain: Record→Run — a pre-resolved plan, no governance.
+	plain *pipeline
+	// governedPlain: Record→Admit→Grant→Run — a pre-resolved plan behind
+	// admission control.
+	governedPlain *pipeline
+	// activate: Record→Activate→Run — one activation of a module, no
+	// retries.
+	activate *pipeline
+	// governedActivate: Record→Admit→Grant→Activate→Run — the grant
+	// feeds choose-plan resolution, without the fallback executor.
+	governedActivate *pipeline
+	// resilient: Record→Breaker→Retry→Activate→Run — the retrying
+	// fallback executor.
+	resilient *pipeline
+	// governed: the full stack.
+	governed *pipeline
+}
+
+func newPipelines() *pipelines {
+	return &pipelines{
+		plain:            mustPipeline(stageRecord, stageRun),
+		governedPlain:    mustPipeline(stageRecord, stageAdmit, stageGrant, stageRun),
+		activate:         mustPipeline(stageRecord, stageActivate, stageRun),
+		governedActivate: mustPipeline(stageRecord, stageAdmit, stageGrant, stageActivate, stageRun),
+		resilient:        mustPipeline(stageRecord, stageBreaker, stageRetry, stageActivate, stageRun),
+		governed:         mustPipeline(stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageActivate, stageRun),
+	}
+}
+
+// recordStage is the single outermost stage: one query-level sample and
+// one run record per query, whatever stack ran below it. Sheds (the
+// governor refused the query, so it never started) count apart from
+// query errors. When the observatory is disabled the stage is one pointer
+// comparison.
+func recordStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecResult, error) {
+	reg := st.db.metrics.Load()
+	if !reg.Enabled() {
+		return next(ctx, st)
+	}
+	start := time.Now()
+	res, err := next(ctx, st)
+	wall := time.Since(start)
+	if err != nil {
+		if errors.Is(err, ErrAdmission) {
+			reg.RecordShed()
+		} else {
+			reg.RecordQuery(obs.QuerySample{WallNanos: wall.Nanoseconds(), Failed: true})
+			reg.LogQuery(st.db.queryLogRecord(nil, wall, err))
+		}
+		return nil, err
+	}
+	reg.RecordQuery(querySampleOf(res, wall))
+	reg.LogQuery(st.db.queryLogRecord(res, wall, nil))
+	return res, nil
+}
+
+// admitStage claims an execution slot from the governor; without an
+// installed governor the stage (and its Grant partner) pass through, so
+// governed stacks degrade to their ungoverned shape unchanged. The
+// governor is snapshotted once, so a concurrent ClearGovernor cannot
+// split the Admit/Grant pair across two governors.
+func admitStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecResult, error) {
+	gov := st.db.gov
+	if gov == nil {
+		return next(ctx, st)
+	}
+	adm, err := gov.Admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	st.gov = gov
+	st.adm = adm
+	return next(ctx, st)
+}
+
+// grantStage draws the memory grant for the admitted query: the broker
+// may degrade it below the request, and the grant — not the caller's
+// number — becomes the memory binding activation resolves choose-plans
+// against (§6.2's graceful degradation). The ticket is released on every
+// exit path; AdmissionStats report the negotiation on success.
+func grantStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecResult, error) {
+	if st.adm == nil {
+		return next(ctx, st)
+	}
+	ticket, qctx, err := st.adm.Grant(ctx, st.b.MemoryPages)
+	if err != nil {
+		return nil, err
+	}
+	defer ticket.Release()
+	if reg := st.db.metrics.Load(); reg.Enabled() {
+		reg.PoolPages.Set(st.gov.Broker().Stats().TotalPages)
+	}
+	st.ticket = ticket
+	st.mem = ticket.Pages
+	res, err := next(qctx, st)
+	if err != nil {
+		return nil, err
+	}
+	s := st.gov.Stats()
+	res.Admission = &obs.AdmissionStats{
+		RequestedPages: ticket.Requested,
+		GrantedPages:   ticket.Pages,
+		Degraded:       ticket.Degraded,
+		QueueWaitNanos: ticket.Wait.Nanoseconds(),
+		ShedQueueFull:  s.ShedQueueFull,
+		ShedTimeout:    s.ShedTimeout,
+	}
+	return res, nil
+}
+
+// breakerStage snapshots which of the module's relations currently have
+// open circuits; they sit outside the choice set for this whole
+// execution, and consulting the breaker counts one cooldown step per
+// blocked relation.
+func breakerStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecResult, error) {
+	if st.module != nil {
+		st.blocked = st.db.breaker.BlockedSet(st.module.mod.Relations())
+	}
+	return next(ctx, st)
+}
+
+// retryStage is the retrying fallback executor — the run-time payoff of
+// carrying alternatives in the plan. Each attempt re-enters the Activate
+// stage below it; a failure's classification decides the recovery
+// (transient I/O: same plan; insufficient memory: downgrade the grant and
+// exclude the picked branches; permanent faults: exclude the picked
+// branches and charge the relation's circuit breaker). Retries pause
+// under capped exponential backoff with deterministic jitter.
+func retryStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecResult, error) {
+	pol := st.pol.withDefaults()
+	if st.avoid == nil {
+		st.avoid = make(map[*physical.Node]bool)
+	}
+	inj := st.db.injector()
+	absorbedBase := inj.Stats().Absorbed
+	rng := rand.New(rand.NewSource(pol.JitterSeed))
+
+	for st.attempt = 1; ; st.attempt++ {
+		if err := qerr.FromContext(ctx.Err()); err != nil {
+			return nil, err
+		}
+		res, err := next(ctx, st)
+		if err == nil {
+			st.db.recordPlanOutcome(st.root, "")
+			res.Retries = st.retries
+			res.BranchSwitched = st.branchSwitched
+			res.FaultsAbsorbed = inj.Stats().Absorbed - absorbedBase
+			res.EffectiveMemoryPages = st.mem * inj.MemoryScale()
+			res.Backoffs = st.backoffs
+			res.BackoffTotal = 0
+			for _, d := range st.backoffs {
+				res.BackoffTotal += d
+			}
+			if st.rep != nil {
+				// The successful attempt's start-up decision trace, followed
+				// by the recovery decisions that led to it.
+				res.Decisions = append(st.rep.Trace, st.retryTrace...)
+			}
+			return res, nil
+		}
+		var abort *stageAbort
+		if errors.As(err, &abort) {
+			// Activation refused (infeasible, circuit-open, unbound
+			// variables): not a run failure, nothing to classify or retry.
+			return nil, err
+		}
+		if qerr.Canceled(err) {
+			return nil, err
+		}
+		// Charge the failing relation's circuit breaker before deciding
+		// whether to retry, so breakers learn from final attempts and from
+		// plans with no alternatives too.
+		failedRel := ""
+		if rel := qerr.Relation(err); rel != "" && !qerr.Retryable(err) {
+			failedRel = rel
+			st.db.recordPlanOutcome(nil, rel)
+		}
+		if st.attempt >= pol.MaxAttempts {
+			return nil, fmt.Errorf("dynplan: resilient execution gave up after %d attempts: %w", st.attempt, err)
+		}
+		st.retries++
+		var picked []*physical.Node
+		if st.rep != nil {
+			picked = st.rep.Picked
+		}
+		var class, response string
+		switch {
+		case errors.Is(err, qerr.ErrInsufficientMemory):
+			class = "insufficient memory"
+			if scale := inj.MemoryScale(); scale < 1 {
+				// Acknowledge the shrink event: the next activation plans
+				// for the memory actually available, so the executor must
+				// not discount it a second time.
+				st.mem *= scale
+				inj.RestoreMemory()
+			} else {
+				st.mem *= pol.MemoryDowngrade
+			}
+			for _, n := range picked {
+				st.avoid[n] = true
+			}
+			response = fmt.Sprintf("downgraded grant to %.3g pages, excluding picked branches", st.mem)
+		case errors.Is(err, qerr.ErrTransientIO):
+			// Retry the same plan: the fault-injection substrate heals
+			// transient faults after a bounded number of touches, so the
+			// retry gets strictly past the page it tripped on.
+			class = "transient I/O"
+			response = "retrying the same plan"
+		default:
+			// Permanent fault, operator panic, or an unclassified failure:
+			// only a different branch can help.
+			if len(picked) == 0 {
+				return nil, fmt.Errorf("dynplan: execution failed with no alternative branches to fall back to: %w", err)
+			}
+			for _, n := range picked {
+				st.avoid[n] = true
+			}
+			class = "permanent fault"
+			response = "excluding picked branches"
+			if failedRel != "" {
+				response += fmt.Sprintf(" (fault charged to %s)", failedRel)
+			}
+		}
+		d := backoffDelay(pol, rng, st.retries)
+		st.backoffs = append(st.backoffs, d)
+		st.retryTrace = append(st.retryTrace, obs.NewRetryTrace(st.attempt, class, response, d))
+		if err := sleepBackoff(ctx, d); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// activateStage performs start-up-time processing (§4): choose-plan
+// decision procedures resolve against the current grant (st.mem) and
+// bindings, avoiding branches failed attempts poisoned and relations
+// whose circuits are open. When exclusions alone leave no feasible plan,
+// they are forgiven (a transiently-poisoned branch may have healed);
+// when the circuit breaker alone leaves none, the query fails fast with
+// ErrCircuitOpen rather than re-probing a poisoned access path.
+func activateStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecResult, error) {
+	if st.module == nil {
+		return next(ctx, st)
+	}
+	opts := plan.StartupOptions{Params: st.db.sys.params}
+	if len(st.avoid) > 0 || len(st.blocked) > 0 {
+		avoid, blocked := st.avoid, st.blocked
+		opts.Avoid = func(n *physical.Node) bool {
+			return avoid[n] || (n.Rel != "" && blocked[n.Rel])
+		}
+	}
+	bb := st.b
+	bb.MemoryPages = st.mem
+	rep, err := st.module.mod.Activate(bb.internal(), opts)
+	if errors.Is(err, plan.ErrInfeasible) && len(st.avoid) > 0 {
+		// Every alternative has failed at least once; forgive the
+		// exclusions (breaker-blocked relations stay excluded) and try the
+		// remaining choice set again.
+		clear(st.avoid)
+		rep, err = st.module.mod.Activate(bb.internal(), opts)
+	}
+	if errors.Is(err, plan.ErrInfeasible) && len(st.blocked) > 0 {
+		// The circuit breaker alone leaves no feasible plan: fail fast
+		// instead of re-probing a poisoned access path.
+		return nil, &stageAbort{err: fmt.Errorf("dynplan: circuit breaker excludes %v and no alternative plan remains: %w: %w",
+			sortedKeys(st.blocked), qerr.ErrCircuitOpen, err)}
+	}
+	if err != nil {
+		return nil, &stageAbort{err: err}
+	}
+	if st.attempt <= 1 {
+		st.firstPicked = rep.Picked
+	} else if !st.branchSwitched && !samePicked(st.firstPicked, rep.Picked) {
+		st.branchSwitched = true
+	}
+	st.rep = rep
+	st.root = rep.Chosen
+	st.planCost = st.module.mod.PlanCost()
+	res, err := next(ctx, st)
+	if err == nil && len(res.Decisions) == 0 {
+		// Attach the start-up decision trace; a Retry stage above replaces
+		// this with the full trace-plus-recovery account.
+		res.Decisions = rep.Trace
+	}
+	return res, err
+}
+
+// runStatic is the terminal executor for resolved plans: it compiles the
+// plan into Volcano iterators over the simulated store, runs it under the
+// context, and assembles the base ExecResult — I/O account, per-operator
+// stats tree, plan digest, and interval-calibration verdicts. Every
+// attempt counts one execution in the observatory; the query-level sample
+// belongs to the Record stage alone.
+func runStatic(ctx context.Context, st *execState) (*ExecResult, error) {
+	db := st.db
+	reg := db.metrics.Load()
+	acc := &storage.Accountant{}
+	// Each execution collects into its own fresh window: the stats tree
+	// describes this run, and concurrent executions of the same plan never
+	// share counters. The injector pointer is snapshotted once, so a
+	// concurrent InjectFaults/ClearFaults cannot swap it mid-query.
+	var collector *obs.Collector
+	if db.observing.Load() || reg.Enabled() {
+		collector = obs.NewCollector()
+	}
+	inj := db.injector()
+	e := &exec.DB{
+		Catalog: db.sys.cat,
+		Store:   db.store,
+		Indexes: db.indexes,
+		Acc:     acc,
+		Faults:  inj,
+		Obs:     collector,
+		Wrap:    db.wrap,
+	}
+	bb := st.b
+	bb.MemoryPages = st.mem
+	absorbedBefore := inj.Stats().Absorbed
+	rows, schema, err := e.RunContext(ctx, st.root, bb.internal())
+	if reg.Enabled() {
+		reg.Executions.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &ExecResult{
+		Columns:              schema,
+		SeqPageReads:         acc.SeqPageReads(),
+		RandPageReads:        acc.RandPageReads(),
+		PageWrites:           acc.PageWrites(),
+		TupleOps:             acc.TupleOps(),
+		FaultsAbsorbed:       inj.Stats().Absorbed - absorbedBefore,
+		EffectiveMemoryPages: bb.MemoryPages * inj.MemoryScale(),
+	}
+	out.Rows = make([][]int64, len(rows))
+	for i, r := range rows {
+		out.Rows[i] = r
+	}
+	if reg.Enabled() {
+		// Annotate the resolved tree with the cost model's predicted
+		// cardinality intervals under this execution's bindings, then
+		// compare each against the observed actuals. When no compile-time
+		// plan interval rode along, the model's own evaluation of the
+		// resolved plan serves as the cost prediction.
+		model := physical.NewModel(db.sys.params)
+		predicted := exec.AnnotatePredictions(collector, model, bb.internal().Env(), st.root)
+		planCost := st.planCost
+		if planCost.Hi <= 0 {
+			planCost = predicted
+		}
+		out.Operators = collector.Tree(st.root)
+		out.PlanDigest = obs.Digest(st.root.Format())
+		out.Calibration = obs.Calibrate(out.Operators, planCost.Lo, planCost.Hi, out.SimulatedSeconds(db.sys.params))
+		reg.RecordOperators(out.Operators)
+		reg.RecordCalibration(out.Calibration)
+	} else {
+		out.Operators = collector.Tree(st.root)
+	}
+	return out, nil
+}
+
+// runAdaptive is the terminal executor for run-time choose-plan decisions
+// (§7): decision procedures materialize base-relation subplans, observe
+// their actual cardinalities, and only then resolve the remaining
+// choose-plans. The adaptive account rides the ExecResult in its Adaptive
+// field.
+func runAdaptive(ctx context.Context, st *execState) (*ExecResult, error) {
+	db := st.db
+	acc := &storage.Accountant{}
+	var collector *obs.Collector
+	if db.observing.Load() {
+		collector = obs.NewCollector()
+	}
+	e := &exec.DB{
+		Catalog: db.sys.cat,
+		Store:   db.store,
+		Indexes: db.indexes,
+		Acc:     acc,
+		Ctx:     ctx,
+		Faults:  db.injector(),
+		Obs:     collector,
+		Wrap:    db.wrap,
+	}
+	res, err := adaptive.Run(e, st.root, st.b.internal(), adaptive.Options{Params: db.sys.params})
+	if reg := db.metrics.Load(); reg.Enabled() {
+		reg.Executions.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &ExecResult{
+		Rows:                 res.Rows,
+		Columns:              res.Schema,
+		SeqPageReads:         acc.SeqPageReads(),
+		RandPageReads:        acc.RandPageReads(),
+		PageWrites:           acc.PageWrites(),
+		TupleOps:             acc.TupleOps(),
+		EffectiveMemoryPages: st.mem * db.injector().MemoryScale(),
+		Adaptive: &AdaptiveResult{
+			Rows:                  res.Rows,
+			Columns:               res.Schema,
+			Chosen:                res.Chosen,
+			Materialized:          res.Materialized,
+			ObservedSelectivities: res.Observed,
+			PredictedCost:         res.PredictedCost,
+			SeqPageReads:          acc.SeqPageReads(),
+			RandPageReads:         acc.RandPageReads(),
+			PageWrites:            acc.PageWrites(),
+			TupleOps:              acc.TupleOps(),
+		},
+	}
+	return out, nil
+}

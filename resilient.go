@@ -2,15 +2,11 @@ package dynplan
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"math/rand"
 	"sort"
 	"time"
 
-	"dynplan/internal/obs"
 	"dynplan/internal/physical"
-	"dynplan/internal/plan"
 	"dynplan/internal/qerr"
 )
 
@@ -51,198 +47,6 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// ExecuteResilient activates and executes an access module with fallback
-// on mid-query failure — the run-time payoff of carrying alternatives in
-// the plan. Each attempt activates the module (resolving its choose-plan
-// operators) and executes the chosen plan; when the attempt fails, the
-// failure's classification decides the recovery:
-//
-//   - ErrTransientIO: the same plan is retried — transient faults heal
-//     after a bounded number of touches, so each retry makes progress.
-//   - ErrInsufficientMemory: the memory grant is downgraded to what is
-//     actually available (absorbing the injector's shrink event, or
-//     applying MemoryDowngrade), the branches the failed attempt had
-//     picked are excluded, and activation re-resolves the choose-plans —
-//     selecting the best alternative branch for the reduced memory.
-//   - Permanent faults and operator panics: the picked branches are
-//     excluded so re-activation steers onto sibling alternatives that may
-//     avoid the poisoned access path; with no alternatives left the
-//     failure is final. When a circuit breaker is installed (SetGovernor),
-//     the fault is also charged to the relation it was raised at.
-//   - ErrCanceled / ErrDeadlineExceeded: never retried.
-//
-// Retries pause under capped exponential backoff with deterministic
-// jitter (RetryPolicy.Backoff/MaxBackoff/JitterSeed); each pause is
-// recorded in the result's Backoffs and in the decision trace.
-//
-// When a per-relation circuit breaker is installed, relations whose
-// circuits are open are excluded from activation up front; if that leaves
-// no feasible plan the execution fails fast with ErrCircuitOpen rather
-// than re-probing a poisoned access path.
-//
-// When excluding failed branches leaves no feasible plan, the exclusions
-// are forgiven (the module's full choice set is restored) rather than
-// giving up — a transiently-poisoned branch may have healed. Every chosen
-// alternative computes the same result (the choose-plan invariant), so a
-// fallback success returns exactly the rows the fault-free execution
-// would have.
-//
-// The result's Retries, BranchSwitched, FaultsAbsorbed, Backoffs, and
-// EffectiveMemoryPages fields report what the execution absorbed.
-func (db *Database) ExecuteResilient(ctx context.Context, m *Module, b Bindings, pol RetryPolicy) (*ExecResult, error) {
-	reg := db.metrics.Load()
-	if !reg.Enabled() || obs.Suppressed(ctx) {
-		return db.executeResilient(ctx, m, b, pol)
-	}
-	// This is the outermost recording layer for this query: suppress the
-	// per-attempt inner recording and record the whole query — all
-	// retries, all backoff — as one sample once the outcome is known.
-	start := time.Now()
-	res, err := db.executeResilient(obs.SuppressRecording(ctx), m, b, pol)
-	wall := time.Since(start)
-	if err != nil {
-		reg.RecordQuery(obs.QuerySample{WallNanos: wall.Nanoseconds(), Failed: true})
-		reg.LogQuery(db.queryLogRecord(nil, wall, err))
-		return nil, err
-	}
-	reg.RecordQuery(querySampleOf(res, wall))
-	reg.LogQuery(db.queryLogRecord(res, wall, nil))
-	return res, nil
-}
-
-// executeResilient is the retry loop behind ExecuteResilient.
-func (db *Database) executeResilient(ctx context.Context, m *Module, b Bindings, pol RetryPolicy) (*ExecResult, error) {
-	pol = pol.withDefaults()
-	mem := b.MemoryPages
-	avoid := make(map[*physical.Node]bool)
-	var firstPicked []*physical.Node
-	inj := db.injector()
-	absorbedBase := inj.Stats().Absorbed
-	retries := 0
-	branchSwitched := false
-	rng := rand.New(rand.NewSource(pol.JitterSeed))
-	var backoffs []time.Duration
-	var retryTrace []obs.ChoiceTrace
-
-	// Relations whose circuit breakers are open sit outside the choice set
-	// for this whole execution; consulting the breaker counts one cooldown
-	// step per blocked relation.
-	blocked := db.breaker.BlockedSet(moduleRelations(m))
-
-	for attempt := 1; ; attempt++ {
-		if err := qerr.FromContext(ctx.Err()); err != nil {
-			return nil, err
-		}
-		opts := plan.StartupOptions{Params: db.sys.params}
-		if len(avoid) > 0 || len(blocked) > 0 {
-			opts.Avoid = func(n *physical.Node) bool {
-				return avoid[n] || (n.Rel != "" && blocked[n.Rel])
-			}
-		}
-		bb := b
-		bb.MemoryPages = mem
-		rep, err := m.mod.Activate(bb.internal(), opts)
-		if errors.Is(err, plan.ErrInfeasible) && len(avoid) > 0 {
-			// Every alternative has failed at least once; forgive the
-			// exclusions (breaker-blocked relations stay excluded) and try
-			// the remaining choice set again.
-			clear(avoid)
-			rep, err = m.mod.Activate(bb.internal(), opts)
-		}
-		if errors.Is(err, plan.ErrInfeasible) && len(blocked) > 0 {
-			// The circuit breaker alone leaves no feasible plan: fail fast
-			// instead of re-probing a poisoned access path.
-			return nil, fmt.Errorf("dynplan: circuit breaker excludes %v and no alternative plan remains: %w: %w",
-				sortedKeys(blocked), qerr.ErrCircuitOpen, err)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if attempt == 1 {
-			firstPicked = rep.Picked
-		} else if !samePicked(firstPicked, rep.Picked) {
-			branchSwitched = true
-		}
-
-		res, err := db.executeInner(ctx, rep.Chosen, bb, m.mod.PlanCost())
-		if err == nil {
-			db.recordPlanOutcome(rep.Chosen, "")
-			res.Retries = retries
-			res.BranchSwitched = branchSwitched
-			res.FaultsAbsorbed = inj.Stats().Absorbed - absorbedBase
-			res.EffectiveMemoryPages = mem * inj.MemoryScale()
-			res.Backoffs = backoffs
-			for _, d := range backoffs {
-				res.BackoffTotal += d
-			}
-			// The successful attempt's start-up decision trace — which
-			// choose-plan branches this execution actually ran and why —
-			// followed by the recovery decisions that led to it.
-			res.Decisions = append(rep.Trace, retryTrace...)
-			return res, nil
-		}
-		if qerr.Canceled(err) {
-			return nil, err
-		}
-		// Charge the failing relation's circuit breaker before deciding
-		// whether to retry, so breakers learn from final attempts and from
-		// plans with no alternatives too.
-		failedRel := ""
-		if rel := qerr.Relation(err); rel != "" && !qerr.Retryable(err) {
-			failedRel = rel
-			db.recordPlanOutcome(nil, rel)
-		}
-		if attempt >= pol.MaxAttempts {
-			return nil, fmt.Errorf("dynplan: resilient execution gave up after %d attempts: %w", attempt, err)
-		}
-		retries++
-		var class, response string
-		switch {
-		case errors.Is(err, qerr.ErrInsufficientMemory):
-			class = "insufficient memory"
-			if scale := inj.MemoryScale(); scale < 1 {
-				// Acknowledge the shrink event: the next activation plans
-				// for the memory actually available, so the executor must
-				// not discount it a second time.
-				mem *= scale
-				inj.RestoreMemory()
-			} else {
-				mem *= pol.MemoryDowngrade
-			}
-			for _, n := range rep.Picked {
-				avoid[n] = true
-			}
-			response = fmt.Sprintf("downgraded grant to %.3g pages, excluding picked branches", mem)
-		case errors.Is(err, qerr.ErrTransientIO):
-			// Retry the same plan: the fault-injection substrate heals
-			// transient faults after a bounded number of touches, so the
-			// retry gets strictly past the page it tripped on.
-			class = "transient I/O"
-			response = "retrying the same plan"
-		default:
-			// Permanent fault, operator panic, or an unclassified failure:
-			// only a different branch can help.
-			if len(rep.Picked) == 0 {
-				return nil, fmt.Errorf("dynplan: execution failed with no alternative branches to fall back to: %w", err)
-			}
-			for _, n := range rep.Picked {
-				avoid[n] = true
-			}
-			class = "permanent fault"
-			response = "excluding picked branches"
-			if failedRel != "" {
-				response += fmt.Sprintf(" (fault charged to %s)", failedRel)
-			}
-		}
-		d := backoffDelay(pol, rng, retries)
-		backoffs = append(backoffs, d)
-		retryTrace = append(retryTrace, obs.NewRetryTrace(attempt, class, response, d))
-		if err := sleepBackoff(ctx, d); err != nil {
-			return nil, err
-		}
-	}
-}
-
 // recordPlanOutcome updates the circuit breaker: a fault-free execution of
 // chosen closes (or keeps closed) the breakers of every relation the plan
 // read; a permanent fault on failedRel charges that relation.
@@ -266,18 +70,6 @@ func (db *Database) recordPlanOutcome(chosen *physical.Node, failedRel string) {
 			db.breaker.RecordSuccess(n.Rel)
 		}
 	})
-}
-
-// moduleRelations returns the distinct base relations any alternative of
-// the module's plan DAG reads, sorted for determinism.
-func moduleRelations(m *Module) []string {
-	seen := make(map[string]bool)
-	m.mod.Root().Walk(func(n *physical.Node) {
-		if n.Rel != "" {
-			seen[n.Rel] = true
-		}
-	})
-	return sortedKeys(seen)
 }
 
 func sortedKeys(set map[string]bool) []string {
