@@ -269,3 +269,154 @@ func TestChaosSoakSheds(t *testing.T) {
 		t.Errorf("admitted %d != completed %d", s.Admitted, s.Completed)
 	}
 }
+
+// TestChaosSoakReopt is the mid-query re-optimization soak: a 4x-stale
+// catalog makes every query trip a cardinality guard and switch (module
+// mix) or re-plan (static-plan mix) mid-flight, while transient page
+// faults land during the switches. Every completed query must produce the
+// digest of its unconstrained, re-opt-free reference; every spooled
+// temporary must be released exactly once (the registry's temp ledger
+// balances); and no goroutine — watchdog included — may outlive the soak.
+func TestChaosSoakReopt(t *testing.T) {
+	iterations := 20
+	if testing.Short() {
+		iterations = 6
+	}
+	sys, q, db := reoptStaleDB(t, 3, "C2", 4)
+	dyn, err := sys.OptimizeDynamic(q, Uncertainty{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.ChoosePlanCount() == 0 {
+		t.Fatal("soak plan has no choose-plans; the switch mix is vacuous")
+	}
+	mod, err := dyn.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.OptimizeStatic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := exec.NewLeakChecker()
+	db.wrap = lc.Wrap
+
+	// The watchdog rides along generously armed: real progress is being
+	// made, so it must never fire — its goroutines must only start and
+	// stop cleanly under the full concurrent load.
+	rp := func() *ReoptPolicy {
+		return &ReoptPolicy{Query: q, Deadline: 30 * time.Second, NoProgressTimeout: 10 * time.Second}
+	}
+	pol := func(seed int64) RetryPolicy {
+		return RetryPolicy{MaxAttempts: 80, Backoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond, JitterSeed: seed}
+	}
+	b := resilBindings(3, 0.5, 64)
+	refMod, err := db.Exec(context.Background(), mod, b, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPlan, err := db.Exec(context.Background(), p, b, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []harness.ChaosQuery{
+		{
+			Name:      "switch-mix",
+			Reference: strings.Join(canonical(refMod), "\n"),
+			Run: func(ctx context.Context, seed int64) (string, error) {
+				res, err := db.Exec(ctx, mod, b, ExecOptions{
+					Governed: true, Resilient: true, Policy: pol(seed), Reopt: rp(),
+				})
+				if err != nil {
+					return "", err
+				}
+				return strings.Join(canonical(res), "\n"), nil
+			},
+		},
+		{
+			Name:      "replan-mix",
+			Reference: strings.Join(canonical(refPlan), "\n"),
+			Run: func(ctx context.Context, seed int64) (string, error) {
+				// The plain stack has no Retry stage, so this mix retries
+				// transient faults itself — they heal after a bounded number
+				// of touches. Each attempt still re-plans from scratch.
+				for {
+					res, err := db.Exec(ctx, p, b, ExecOptions{Reopt: rp()})
+					if err != nil {
+						if IsRetryable(err) {
+							continue
+						}
+						return "", err
+					}
+					return strings.Join(canonical(res), "\n"), nil
+				}
+			},
+		},
+	}
+
+	db.EnableObservatory()
+	defer db.DisableObservatory()
+	before := harness.StableGoroutines()
+	db.SetGovernor(GovernorConfig{
+		TotalPages:    512,
+		MinGrantPages: 16,
+		MaxConcurrent: 6,
+		MaxQueued:     8,
+		QueueTimeout:  time.Second,
+		Deadline:      30 * time.Second,
+	})
+	defer db.ClearGovernor()
+	db.InjectFaults(FaultConfig{Seed: 11, TransientRate: 0.1})
+	defer db.ClearFaults()
+
+	rep, err := harness.Soak(context.Background(), harness.ChaosConfig{
+		Seed:       3,
+		Workers:    6,
+		Iterations: iterations,
+		Queries:    queries,
+		Rejected: func(err error) bool {
+			return errors.Is(err, ErrAdmission) || IsCanceled(err)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s; faults injected: %d", rep, db.FaultStats().Injected)
+	if db.FaultStats().Injected == 0 {
+		t.Error("no faults were injected; the soak is vacuous")
+	}
+
+	snap := db.MetricsSnapshot()
+	if snap.Reopts == 0 {
+		t.Error("no guard tripped during the soak; the scenario is vacuous")
+	}
+	if snap.ReoptSwitches == 0 || snap.ReoptReplans == 0 {
+		t.Errorf("both remedies must run: switches=%d replans=%d", snap.ReoptSwitches, snap.ReoptReplans)
+	}
+	// Zero leaked temporaries: with no query in flight, every spooled
+	// temporary has been released exactly once.
+	if snap.ReoptTempsCreated == 0 || snap.ReoptTempsCreated != snap.ReoptTempsReleased {
+		t.Errorf("temp ledger unbalanced: created=%d released=%d",
+			snap.ReoptTempsCreated, snap.ReoptTempsReleased)
+	}
+	if snap.WatchdogStalls != 0 {
+		t.Errorf("watchdog stalled %d times on a progressing workload", snap.WatchdogStalls)
+	}
+
+	if got := db.OutstandingGrantPages(); got != 0 {
+		t.Errorf("outstanding grant pages = %v, want 0", got)
+	}
+	s := db.GovernorStats()
+	if s.Admitted != s.Completed {
+		t.Errorf("admitted %d != completed %d: a ticket was not released", s.Admitted, s.Completed)
+	}
+	if leaked := lc.Leaked(); len(leaked) > 0 {
+		t.Errorf("leaked iterators: %v", leaked)
+	}
+	if after := harness.StableGoroutines(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d", before, after)
+	}
+}

@@ -8,16 +8,20 @@
 //
 // Usage:
 //
-//	obsd [-addr :8344] [-seed 7] [-n 200] [-interval 50ms] [-stale 4]
+//	obsd [-addr :8344] [-seed 7] [-n 200] [-interval 50ms] [-stale 4] [-reopt]
 //
 // The demo database is the 3-way chain join the repository's experiments
 // use (E1 ⋈ E2 ⋈ E3, each with a selection on a host variable), executed
 // through the governed path with varied selectivities so admission stats,
 // latency histograms, and choose-plan decisions all populate. -stale
 // multiplies E1's real row count beyond its catalog cardinality, so the
-// calibration table has a genuine offender to flag. With -n 0 the server
-// starts with an empty registry; otherwise it keeps serving after the
-// workload finishes so the endpoints can be inspected at leisure.
+// calibration table has a genuine offender to flag. -reopt arms mid-query
+// re-optimization on every workload query: the stale relation trips a
+// cardinality guard mid-flight and the remedy (switch or re-plan) lands
+// in the /queries trace ring and the /metrics reopt counters. With -n 0
+// the server starts with an empty registry; otherwise it keeps serving
+// after the workload finishes so the endpoints can be inspected at
+// leisure.
 package main
 
 import (
@@ -39,9 +43,10 @@ func main() {
 	n := flag.Int("n", 200, "workload queries to run (0 serves an empty registry)")
 	interval := flag.Duration("interval", 50*time.Millisecond, "pause between workload queries")
 	stale := flag.Float64("stale", 4, "staleness factor applied to E1's real cardinality")
+	reopt := flag.Bool("reopt", false, "arm mid-query re-optimization on every workload query")
 	flag.Parse()
 
-	db, mod, err := demoDatabase(*seed, *stale)
+	db, mod, q, err := demoDatabase(*seed, *stale)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,8 +57,12 @@ func main() {
 		MaxConcurrent: 4,
 	})
 
+	var rp *dynplan.ReoptPolicy
+	if *reopt {
+		rp = &dynplan.ReoptPolicy{Query: q}
+	}
 	go func() {
-		if err := runWorkload(db, mod, *seed, *n, *interval); err != nil {
+		if err := runWorkload(db, mod, rp, *seed, *n, *interval); err != nil {
 			log.Printf("obsd: workload: %v", err)
 		}
 	}()
@@ -65,10 +74,11 @@ func main() {
 }
 
 // demoDatabase builds the 3-way chain-join system with data loaded and
-// indexes built, returning the opened database and the dynamic plan's
-// access module. staleness > 1 loads E1 with that multiple of its catalog
-// cardinality, making the catalog stale by construction.
-func demoDatabase(seed int64, staleness float64) (*dynplan.Database, *dynplan.Module, error) {
+// indexes built, returning the opened database, the dynamic plan's access
+// module, and the logical query (the re-plan remedy needs it). staleness
+// > 1 loads E1 with that multiple of its catalog cardinality, making the
+// catalog stale by construction.
+func demoDatabase(seed int64, staleness float64) (*dynplan.Database, *dynplan.Module, *dynplan.Query, error) {
 	sys := dynplan.New()
 	for i := 1; i <= 3; i++ {
 		sys.MustCreateRelation(fmt.Sprintf("E%d", i), 400, 512,
@@ -92,37 +102,38 @@ func demoDatabase(seed int64, staleness float64) (*dynplan.Database, *dynplan.Mo
 	}
 	q, err := sys.BuildQuery(spec)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	dyn, err := sys.OptimizeDynamic(q, dynplan.Uncertainty{})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	mod, err := dyn.Module()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	db := sys.OpenDatabase()
 	if err := db.GenerateData(seed); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// Stale catalog: E1 really holds staleness x its declared 400 rows.
 	rng := rand.New(rand.NewSource(seed + 1))
 	for i := 0; i < int(400*(staleness-1)); i++ {
 		row := []int64{int64(rng.Intn(400)), int64(rng.Intn(80)), int64(rng.Intn(80))}
 		if err := db.Insert("E1", row); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	if err := db.BuildIndexes(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return db, mod, nil
+	return db, mod, q, nil
 }
 
 // runWorkload drives n governed executions with varied selectivities and
-// memory, the traffic the endpoints report on.
-func runWorkload(db *dynplan.Database, mod *dynplan.Module, seed int64, n int, interval time.Duration) error {
+// memory, the traffic the endpoints report on. A non-nil re-optimization
+// policy arms the cardinality guards on every query.
+func runWorkload(db *dynplan.Database, mod *dynplan.Module, rp *dynplan.ReoptPolicy, seed int64, n int, interval time.Duration) error {
 	rng := rand.New(rand.NewSource(seed))
 	sels := []float64{0.05, 0.1, 0.25, 0.5, 0.8}
 	mems := []float64{32, 64, 96}
@@ -135,7 +146,11 @@ func runWorkload(db *dynplan.Database, mod *dynplan.Module, seed int64, n int, i
 			},
 			MemoryPages: mems[rng.Intn(len(mems))],
 		}
-		if _, err := db.ExecuteGoverned(context.Background(), mod, b, dynplan.RetryPolicy{}); err != nil {
+		if _, err := db.Exec(context.Background(), mod, b, dynplan.ExecOptions{
+			Governed:  true,
+			Resilient: true,
+			Reopt:     rp,
+		}); err != nil {
 			return err
 		}
 		time.Sleep(interval)

@@ -222,6 +222,13 @@ type ExecResult struct {
 	// observed selectivities, and corrected cost prediction. Nil on every
 	// other path.
 	Adaptive *AdaptiveResult
+
+	// Reopt carries the mid-query re-optimization account when the query
+	// ran under a ReoptPolicy and anything happened — guard violations and
+	// the remedies taken (switch, re-plan, degrade), temporaries spooled,
+	// planning time spent. Nil when no guard tripped or re-optimization
+	// was not enabled.
+	Reopt *ReoptAccount
 }
 
 // SimulatedSeconds converts the account to simulated execution time under

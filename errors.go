@@ -37,6 +37,15 @@ var (
 	// excluded every alternative of the plan, so resilient execution failed
 	// fast rather than re-probing a poisoned access path.
 	ErrCircuitOpen = qerr.ErrCircuitOpen
+	// ErrCardinalityViolation reports that a mid-query cardinality guard
+	// observed a materialized row count outside the cost model's predicted
+	// band. With a ReoptPolicy active it is remedied mid-flight and never
+	// surfaces; without one it fails the query, typed.
+	ErrCardinalityViolation = qerr.ErrCardinalityViolation
+	// ErrNoProgress reports that the progress watchdog observed no tuples
+	// advancing for longer than ReoptPolicy.NoProgressTimeout: the query
+	// was stuck, not slow.
+	ErrNoProgress = qerr.ErrNoProgress
 )
 
 // IsRetryable reports whether re-executing can plausibly succeed:

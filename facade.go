@@ -38,6 +38,12 @@ type ExecOptions struct {
 	// resolve. The result's Adaptive field carries the account. Mutually
 	// exclusive with Governed and Resilient.
 	Adaptive bool
+	// Reopt enables mid-query re-optimization: cardinality guards at
+	// materialization points, safe plan switching / re-planning on a
+	// violation, a per-query deadline, and the progress watchdog (see
+	// ReoptPolicy). Mutually exclusive with Adaptive — run-time decisions
+	// already observe before deciding.
+	Reopt *ReoptPolicy
 }
 
 // Exec is the single execution entry point behind every Execute* façade:
@@ -79,18 +85,30 @@ func (db *Database) Exec(ctx context.Context, q any, b Bindings, o ExecOptions) 
 		if o.Governed || o.Resilient {
 			return nil, &PipelineError{Reason: "the Adaptive option excludes Governed and Resilient; run-time decisions have their own recovery"}
 		}
+		if o.Reopt != nil {
+			return nil, &PipelineError{Reason: "the Adaptive option excludes Reopt; run-time decisions already observe cardinalities before deciding"}
+		}
 		return db.pipes.plain.exec(ctx, st)
 	}
+	st.reopt = o.Reopt
 
 	var stack *pipeline
 	if st.module != nil {
 		switch {
+		case o.Governed && o.Resilient && o.Reopt != nil:
+			stack = db.pipes.governedReopt
 		case o.Governed && o.Resilient:
 			stack = db.pipes.governed
+		case o.Resilient && o.Reopt != nil:
+			stack = db.pipes.resilientReopt
 		case o.Resilient:
 			stack = db.pipes.resilient
+		case o.Governed && o.Reopt != nil:
+			stack = db.pipes.governedActivateReopt
 		case o.Governed:
 			stack = db.pipes.governedActivate
+		case o.Reopt != nil:
+			stack = db.pipes.activateReopt
 		default:
 			stack = db.pipes.activate
 		}
@@ -98,9 +116,14 @@ func (db *Database) Exec(ctx context.Context, q any, b Bindings, o ExecOptions) 
 		if o.Resilient {
 			return nil, &PipelineError{Reason: fmt.Sprintf("the Resilient option requires a *Module, not a %T; fallback needs alternatives to steer onto", q)}
 		}
-		if o.Governed {
+		switch {
+		case o.Governed && o.Reopt != nil:
+			stack = db.pipes.governedPlainReopt
+		case o.Governed:
 			stack = db.pipes.governedPlain
-		} else {
+		case o.Reopt != nil:
+			stack = db.pipes.plainReopt
+		default:
 			stack = db.pipes.plain
 		}
 	}

@@ -85,6 +85,13 @@ type DB struct {
 	// metering wrapper entirely — the disabled fast path is one pointer
 	// check per compiled operator.
 	Obs *obs.Collector
+	// Guards, when non-nil, is consulted at every materialization point —
+	// a hash-join build fully drained, a sort input fully buffered, a
+	// temporary fully loaded — with the materialized subtree's plan node
+	// and observed row count. A guard error aborts the execution (the
+	// re-optimization layer catches it above); nil Guards (the default)
+	// costs one pointer check per materialization.
+	Guards MatGuard
 
 	// polls counts cancellation checks so only every pollEvery-th check
 	// actually inspects the context.
@@ -95,8 +102,33 @@ type DB struct {
 // inspections; cancellation is observed within at most this many calls.
 const pollEvery = 8
 
+// MatGuard observes materialization points as tuples finish flowing into
+// them. The executor defines the interface (rather than importing the
+// re-optimization layer) so internal/reopt can implement it without an
+// import cycle.
+type MatGuard interface {
+	// CheckMat is called when the materialization rooted at plan node n
+	// has fully drained: count rows of the given schema were buffered.
+	// rows lazily flattens the buffered rows — it is only invoked when the
+	// guard decides to act (e.g. to register the materialized result as a
+	// temporary), so the satisfied fast path copies nothing. A non-nil
+	// error aborts the execution.
+	CheckMat(n *physical.Node, count int, schema Schema, rows func() []storage.Row) error
+}
+
+// checkMat consults the guard hook at a materialization point; nil-safe.
+func (db *DB) checkMat(n *physical.Node, count int, schema Schema, rows func() []storage.Row) error {
+	if db.Guards == nil || n == nil {
+		return nil
+	}
+	return db.Guards.CheckMat(n, count, schema, rows)
+}
+
 // checkCancel polls the context every pollEvery-th call; on expiry it
-// returns an error wrapping qerr.ErrCanceled or qerr.ErrDeadlineExceeded.
+// returns an error wrapping qerr.ErrCanceled or qerr.ErrDeadlineExceeded —
+// or the cancellation cause itself when one was attached (the progress
+// watchdog cancels with typed qerr causes that must survive to the
+// re-optimization layer).
 func (db *DB) checkCancel() error {
 	if db.Ctx == nil {
 		return nil
@@ -105,7 +137,10 @@ func (db *DB) checkCancel() error {
 	if db.polls%pollEvery != 0 {
 		return nil
 	}
-	return qerr.FromContext(db.Ctx.Err())
+	if db.Ctx.Err() == nil {
+		return nil
+	}
+	return qerr.FromContext(context.Cause(db.Ctx))
 }
 
 // pageRead charges one page read (sequential or random) for a base table
@@ -151,10 +186,8 @@ func (db *DB) Run(root *physical.Node, b *bindings.Bindings) (rows []storage.Row
 			err = fmt.Errorf("exec: recovered panic %v: %w", r, qerr.ErrOperatorPanic)
 		}
 	}()
-	if db.Ctx != nil {
-		if cerr := qerr.FromContext(db.Ctx.Err()); cerr != nil {
-			return nil, nil, cerr
-		}
+	if db.Ctx != nil && db.Ctx.Err() != nil {
+		return nil, nil, qerr.FromContext(context.Cause(db.Ctx))
 	}
 	it, schema, err := db.Build(root, b)
 	if err != nil {

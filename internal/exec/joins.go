@@ -34,6 +34,8 @@ func (db *DB) buildHashJoin(n *physical.Node, b *bindings.Bindings) (Iterator, S
 	return &hashJoinIter{
 		db: db, build: left, probe: right,
 		buildCol: lcol, probeCol: rcol,
+		buildNode:     n.Children[0],
+		buildSchema:   ls,
 		buildRowBytes: n.Children[0].RowBytes,
 		probeRowBytes: n.Children[1].RowBytes,
 		memPages:      b.Memory,
@@ -46,6 +48,11 @@ type hashJoinIter struct {
 	probe    Iterator
 	buildCol int
 	probeCol int
+
+	// buildNode and buildSchema identify the materialized build subtree
+	// for the cardinality guard consulted once the build fully drains.
+	buildNode   *physical.Node
+	buildSchema Schema
 
 	buildRowBytes int
 	probeRowBytes int
@@ -90,6 +97,12 @@ func (it *hashJoinIter) Open() error {
 		return err
 	}
 	it.buildClosed = true
+	// The build side is a materialization point: its true cardinality is
+	// now known, so the guard can compare it against the predicted band
+	// before the probe side spends any work.
+	if err := it.db.checkMat(it.buildNode, it.buildLen, it.buildSchema, it.flattenBuild); err != nil {
+		return err
+	}
 	// A memory-shrink event revokes part of the grant the plan was
 	// promised; a build side that no longer fits cannot proceed (the
 	// simulated-spill accounting below models a build that was *planned*
@@ -141,6 +154,18 @@ func (it *hashJoinIter) Next() (storage.Row, bool, error) {
 // memory footprint (the probe side streams).
 func (it *hashJoinIter) MemoryHighWater() int64 {
 	return int64(it.buildLen) * int64(it.buildRowBytes)
+}
+
+// flattenBuild snapshots the hash table's rows for the guard; it runs only
+// when the guard acts on a violation, never on the satisfied fast path.
+// The order is arbitrary (hash-table iteration), which is why guard
+// temporaries never claim a sort order.
+func (it *hashJoinIter) flattenBuild() []storage.Row {
+	out := make([]storage.Row, 0, it.buildLen)
+	for _, group := range it.table {
+		out = append(out, group...)
+	}
+	return out
 }
 
 // chargeSpill accounts the Grace-partitioning I/O the cost model predicts
@@ -452,17 +477,23 @@ func (db *DB) buildSort(n *physical.Node, b *bindings.Bindings) (Iterator, Schem
 	}
 	return &sortIter{
 		db: db, child: child, col: col,
-		rowBytes: n.Children[0].RowBytes,
-		memPages: b.Memory,
+		childNode:   n.Children[0],
+		childSchema: schema,
+		rowBytes:    n.Children[0].RowBytes,
+		memPages:    b.Memory,
 	}, schema, nil
 }
 
 type sortIter struct {
-	db       *DB
-	child    Iterator
-	col      int
-	rowBytes int
-	memPages float64
+	db    *DB
+	child Iterator
+	col   int
+	// childNode and childSchema identify the materialized input subtree
+	// for the cardinality guard consulted once the input fully drains.
+	childNode   *physical.Node
+	childSchema Schema
+	rowBytes    int
+	memPages    float64
 
 	childClosed bool
 	rows        []storage.Row
@@ -500,6 +531,13 @@ func (it *sortIter) Open() error {
 		return err
 	}
 	it.childClosed = true
+	// The sort input is a materialization point: the full input is
+	// buffered, so the guard sees the true cardinality before the sort
+	// (and any external-sort I/O) is paid for. The rows are in drain
+	// order; guard temporaries never claim a sort order.
+	if err := it.db.checkMat(it.childNode, len(it.rows), it.childSchema, func() []storage.Row { return it.rows }); err != nil {
+		return err
+	}
 	if len(it.rows) > it.maxRows {
 		it.maxRows = len(it.rows)
 	}

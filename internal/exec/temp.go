@@ -56,15 +56,17 @@ func (db *DB) buildTempScan(n *physical.Node) (Iterator, Schema, error) {
 	}
 	// Temporaries live in memory; the fault injector deliberately does not
 	// see their reads — injected page faults model base-table I/O.
-	return &tempScanIter{db: db, table: temp.Table, acc: db.Acc}, temp.Schema, nil
+	return &tempScanIter{db: db, node: n, schema: temp.Schema, table: temp.Table, acc: db.Acc}, temp.Schema, nil
 }
 
 type tempScanIter struct {
-	db    *DB
-	table *storage.Table
-	acc   *storage.Accountant
-	rows  []storage.Row
-	pos   int
+	db     *DB
+	node   *physical.Node
+	schema Schema
+	table  *storage.Table
+	acc    *storage.Accountant
+	rows   []storage.Row
+	pos    int
 }
 
 func (it *tempScanIter) Open() error {
@@ -74,7 +76,10 @@ func (it *tempScanIter) Open() error {
 		it.rows = append(it.rows, r)
 		return true
 	})
-	return nil
+	// A loaded temporary is a materialization point too: a temp spooled
+	// under one cardinality assumption may feed a plan that predicted
+	// another.
+	return it.db.checkMat(it.node, len(it.rows), it.schema, func() []storage.Row { return it.rows })
 }
 
 func (it *tempScanIter) Next() (storage.Row, bool, error) {

@@ -45,10 +45,22 @@ type CalibrationVerdict struct {
 	Violation bool `json:"violation"`
 }
 
-// qError computes the interval q-error and violation bit for an actual
-// value against a predicted [lo, hi] band, 1-flooring both sides so
-// zero-row operators and zero-cost intervals stay finite.
-func qError(lo, hi, actual float64) (float64, bool) {
+// BandCheck is a predicted [Lo, Hi] interval together with the verdict
+// logic every band comparison in the system shares: the post-run
+// calibration table and the mid-query cardinality guards (internal/reopt)
+// both reduce predicted-vs-actual to Verdict, so the two layers cannot
+// drift apart on what counts as a violation or how badly an actual missed.
+type BandCheck struct {
+	Lo, Hi float64
+}
+
+// Verdict computes the interval q-error and violation bit for an actual
+// value against the band, 1-flooring both sides so zero-row operators and
+// zero-cost intervals stay finite: q-error is 1 when actual lands inside
+// [Lo, Hi], max(Lo,1)/max(actual,1) below, max(actual,1)/max(Hi,1) above.
+// An inverted band is normalized first.
+func (b BandCheck) Verdict(actual float64) (qerror float64, violation bool) {
+	lo, hi := b.Lo, b.Hi
 	if lo > hi {
 		lo, hi = hi, lo
 	}
@@ -66,6 +78,17 @@ func qError(lo, hi, actual float64) (float64, bool) {
 	default:
 		return 1, false
 	}
+}
+
+// Contains reports whether actual falls inside the band (no violation).
+func (b BandCheck) Contains(actual float64) bool {
+	_, viol := b.Verdict(actual)
+	return !viol
+}
+
+// qError keeps the historical call shape for this file's own callers.
+func qError(lo, hi, actual float64) (float64, bool) {
+	return BandCheck{Lo: lo, Hi: hi}.Verdict(actual)
 }
 
 // Calibrate walks an execution's stats tree and produces the calibration

@@ -56,6 +56,9 @@ type RunRecord struct {
 	PlanDigest string `json:"plan_digest,omitempty"`
 	// Calibration lists the run's interval-calibration verdicts.
 	Calibration []CalibrationVerdict `json:"calibration,omitempty"`
+	// Reopt lists the mid-query re-optimization decisions the execution
+	// took (guard violations and the remedies chosen).
+	Reopt []ReoptEvent `json:"reopt,omitempty"`
 	// WallNanos is the query's end-to-end latency; UnixNanos stamps when
 	// the record was logged; Error carries the failure text for failed
 	// runs in the query log.

@@ -271,6 +271,21 @@ type Registry struct {
 	// Violations counts interval-calibration verdicts whose actual fell
 	// outside the predicted [lo, hi].
 	Violations Counter
+	// Reopts counts mid-query guard violations the re-optimization stage
+	// handled; ReoptSwitches, ReoptReplans, and ReoptDegrades split them
+	// by the remedy chosen. WatchdogStalls counts progress-watchdog
+	// no-progress cancellations.
+	Reopts         Counter
+	ReoptSwitches  Counter
+	ReoptReplans   Counter
+	ReoptDegrades  Counter
+	WatchdogStalls Counter
+	// ReoptTempsCreated and ReoptTempsReleased tally the temporaries the
+	// re-optimization controller spooled and released. They must always be
+	// equal once no query is in flight — the leak check error paths (which
+	// carry no ExecResult) are audited against.
+	ReoptTempsCreated  Counter
+	ReoptTempsReleased Counter
 
 	// PoolPages is the governor's grant-pool size; WorstQError the largest
 	// q-error any calibration verdict has reported.
@@ -278,12 +293,14 @@ type Registry struct {
 	WorstQError Gauge
 
 	// Latency, QueueWait, and Backoff are nanosecond histograms; PagesRead
-	// and RowsOut count per-query I/O volume and result size.
-	Latency   Histogram
-	QueueWait Histogram
-	Backoff   Histogram
-	PagesRead Histogram
-	RowsOut   Histogram
+	// and RowsOut count per-query I/O volume and result size; ReplanNanos
+	// tracks the optimizer time mid-query replans spent.
+	Latency     Histogram
+	QueueWait   Histogram
+	Backoff     Histogram
+	PagesRead   Histogram
+	RowsOut     Histogram
+	ReplanNanos Histogram
 
 	mu    sync.Mutex
 	ops   map[string]*OpAggregate
@@ -346,6 +363,37 @@ func (r *Registry) RecordBreakerTrip() {
 	r.BreakerTrips.Add(1)
 }
 
+// RecordReopt folds one query's mid-query re-optimization events into the
+// counters and the replan-time histogram.
+func (r *Registry) RecordReopt(events []ReoptEvent) {
+	if r == nil || len(events) == 0 {
+		return
+	}
+	for _, e := range events {
+		switch e.Stage {
+		case "violation":
+			r.Reopts.Add(1)
+		case "switch":
+			r.ReoptSwitches.Add(1)
+		case "replan":
+			r.ReoptReplans.Add(1)
+		case "degrade":
+			r.ReoptDegrades.Add(1)
+		}
+		if e.PlanningNanos > 0 {
+			r.ReplanNanos.Record(e.PlanningNanos)
+		}
+	}
+}
+
+// RecordWatchdogStall counts one progress-watchdog no-progress trip.
+func (r *Registry) RecordWatchdogStall() {
+	if r == nil {
+		return
+	}
+	r.WatchdogStalls.Add(1)
+}
+
 // RecordOperators folds an execution's stats tree into the keyed
 // aggregates: each distinct node is charged once to its operator kind and,
 // when it reads a base relation, to that relation.
@@ -393,6 +441,14 @@ type RegistrySnapshot struct {
 	BreakerTrips int64 `json:"breaker_trips"`
 	Violations   int64 `json:"interval_violations"`
 
+	Reopts             int64 `json:"reopts,omitempty"`
+	ReoptSwitches      int64 `json:"reopt_switches,omitempty"`
+	ReoptReplans       int64 `json:"reopt_replans,omitempty"`
+	ReoptDegrades      int64 `json:"reopt_degrades,omitempty"`
+	WatchdogStalls     int64 `json:"watchdog_stalls,omitempty"`
+	ReoptTempsCreated  int64 `json:"reopt_temps_created,omitempty"`
+	ReoptTempsReleased int64 `json:"reopt_temps_released,omitempty"`
+
 	PoolPages   float64 `json:"pool_pages,omitempty"`
 	WorstQError float64 `json:"worst_q_error,omitempty"`
 
@@ -401,6 +457,7 @@ type RegistrySnapshot struct {
 	BackoffNanos   HistogramSnapshot `json:"backoff_ns"`
 	PagesRead      HistogramSnapshot `json:"pages_read"`
 	RowsOut        HistogramSnapshot `json:"rows_out"`
+	ReplanNanos    HistogramSnapshot `json:"replan_ns,omitempty"`
 
 	Operators map[string]OpAggregate `json:"operators,omitempty"`
 	Relations map[string]OpAggregate `json:"relations,omitempty"`
@@ -412,20 +469,28 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 		return nil
 	}
 	s := &RegistrySnapshot{
-		Queries:        r.Queries.Load(),
-		Executions:     r.Executions.Load(),
-		Errors:         r.Errors.Load(),
-		Sheds:          r.Sheds.Load(),
-		Retries:        r.Retries.Load(),
-		BreakerTrips:   r.BreakerTrips.Load(),
-		Violations:     r.Violations.Load(),
-		PoolPages:      r.PoolPages.Load(),
-		WorstQError:    r.WorstQError.Load(),
-		LatencyNanos:   r.Latency.Snapshot(),
-		QueueWaitNanos: r.QueueWait.Snapshot(),
-		BackoffNanos:   r.Backoff.Snapshot(),
-		PagesRead:      r.PagesRead.Snapshot(),
-		RowsOut:        r.RowsOut.Snapshot(),
+		Queries:            r.Queries.Load(),
+		Executions:         r.Executions.Load(),
+		Errors:             r.Errors.Load(),
+		Sheds:              r.Sheds.Load(),
+		Retries:            r.Retries.Load(),
+		BreakerTrips:       r.BreakerTrips.Load(),
+		Violations:         r.Violations.Load(),
+		Reopts:             r.Reopts.Load(),
+		ReoptSwitches:      r.ReoptSwitches.Load(),
+		ReoptReplans:       r.ReoptReplans.Load(),
+		ReoptDegrades:      r.ReoptDegrades.Load(),
+		WatchdogStalls:     r.WatchdogStalls.Load(),
+		ReoptTempsCreated:  r.ReoptTempsCreated.Load(),
+		ReoptTempsReleased: r.ReoptTempsReleased.Load(),
+		PoolPages:          r.PoolPages.Load(),
+		WorstQError:        r.WorstQError.Load(),
+		LatencyNanos:       r.Latency.Snapshot(),
+		QueueWaitNanos:     r.QueueWait.Snapshot(),
+		BackoffNanos:       r.Backoff.Snapshot(),
+		PagesRead:          r.PagesRead.Snapshot(),
+		RowsOut:            r.RowsOut.Snapshot(),
+		ReplanNanos:        r.ReplanNanos.Snapshot(),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

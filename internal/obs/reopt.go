@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ReoptEvent is one mid-query re-optimization decision: a cardinality
+// guard tripped (or the budget ran out) and the controller chose a remedy.
+// Events ride the ExecResult and the query-log run record, so the
+// /queries trace and ExplainAnalyze both show what happened mid-flight.
+type ReoptEvent struct {
+	// Stage is the remedy taken: "violation" (the guard observation
+	// itself), "switch" (re-activated onto a surviving choose-plan
+	// alternative), "replan" (re-entered the optimizer with the
+	// materialized temp as a base relation), or "degrade" (budget
+	// exhausted; finishing the current plan over the temp).
+	Stage string `json:"stage"`
+	// Op labels the plan operator whose materialization tripped the
+	// guard; Rel names the base relation the violated subtree reads —
+	// the handle that pins a stale catalog entry to its relation.
+	Op  string `json:"op,omitempty"`
+	Rel string `json:"rel,omitempty"`
+	// Observed is the row count the materialization produced;
+	// PredictedLo and PredictedHi the band the cost model promised;
+	// QError the miss factor (see BandCheck).
+	Observed    float64 `json:"observed"`
+	PredictedLo float64 `json:"predicted_lo"`
+	PredictedHi float64 `json:"predicted_hi"`
+	QError      float64 `json:"q_error"`
+	// Attempt is the 1-based re-optimization attempt this event belongs
+	// to; PlanningNanos the optimizer time a replan spent.
+	Attempt       int   `json:"attempt"`
+	PlanningNanos int64 `json:"planning_ns,omitempty"`
+	// Note carries the human-readable decision rationale.
+	Note string `json:"note,omitempty"`
+}
+
+// RenderReoptEvents renders the re-optimization trace as the REOPT lines
+// ExplainAnalyze appends.
+func RenderReoptEvents(events []ReoptEvent) string {
+	if len(events) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString("REOPT ")
+		b.WriteString(e.Stage)
+		if e.Op != "" {
+			fmt.Fprintf(&b, " at %s", e.Op)
+		}
+		if e.Rel != "" {
+			fmt.Fprintf(&b, " [%s]", e.Rel)
+		}
+		fmt.Fprintf(&b, ": observed %.0f rows vs predicted [%.3g, %.3g] (q-error %.3g, attempt %d)",
+			e.Observed, e.PredictedLo, e.PredictedHi, e.QError, e.Attempt)
+		if e.PlanningNanos > 0 {
+			fmt.Fprintf(&b, " planning=%dns", e.PlanningNanos)
+		}
+		if e.Note != "" {
+			b.WriteString(" — ")
+			b.WriteString(e.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

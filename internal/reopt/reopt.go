@@ -1,0 +1,790 @@
+// Package reopt implements mid-query re-optimization: cardinality guards
+// at materialization points, safe plan switching, and graceful degradation
+// under a re-planning budget.
+//
+// The paper's dynamic plans defend against parameters unknown at
+// compile-time; this package defends against parameters that are *wrong* at
+// start-up-time — stale catalog cardinalities, skewed data under the
+// uniform estimation model, applications guessing their own selectivities.
+// The start-up-time choose-plan decision trusts the bound values; when the
+// data disagrees, the chosen plan can be arbitrarily bad even though the
+// dynamic plan still contains the right one.
+//
+// The remedy follows the classic mid-query re-optimization recipe
+// (Kabra & DeWitt's guards, Pavlopoulou et al.'s staged switching) adapted
+// to dynamic plans:
+//
+//  1. Guard: every materialization point (hash-join build, sort input,
+//     temp-scan load) whose subtree reads exactly one base relation carries
+//     the cost model's predicted cardinality band. The executor reports the
+//     observed row count; a q-error beyond the tolerance trips the guard.
+//  2. Spool: the rows already materialized are spooled into a temporary —
+//     the work is kept, not discarded — and the observed selectivity
+//     corrects the tripped predicate's binding for all later cost
+//     evaluations (never for execution: predicate literals must not move).
+//  3. Remedy, escalating under a budget:
+//     switch — re-run the start-up decision of the surviving dynamic plan
+//     under the corrected bindings and splice the temporary in place of the
+//     violated base subplan;
+//     re-plan — re-enter the optimizer with the temporary registered as a
+//     base relation of its observed cardinality, resuming without
+//     recomputing finished work;
+//     degrade — budget exhausted: finish the current plan over the
+//     temporary and record that re-optimization gave up.
+//
+// A progress watchdog (watchdog.go) guards the time axis the same way the
+// bands guard the cardinality axis: a per-query deadline and a no-progress
+// timeout measured in tuples advanced, both surfacing as typed qerr errors.
+package reopt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/catalog"
+	"dynplan/internal/cost"
+	"dynplan/internal/exec"
+	"dynplan/internal/logical"
+	"dynplan/internal/obs"
+	"dynplan/internal/physical"
+	"dynplan/internal/qerr"
+	"dynplan/internal/runtimeopt"
+	"dynplan/internal/search"
+	"dynplan/internal/storage"
+)
+
+// Policy configures mid-query re-optimization for one query.
+type Policy struct {
+	// Query is the logical query, required for the re-plan remedy; nil
+	// restricts the controller to switch and degrade.
+	Query *logical.Query
+	// Config is the search configuration re-planning optimizes under.
+	Config search.Config
+	// Params are the cost-model constants; zero value means defaults.
+	Params physical.Params
+
+	// MaxAttempts bounds how many guard trips are remedied before the
+	// controller degrades to finishing the current plan (default 2).
+	MaxAttempts int
+	// MaxPlanningTime bounds the cumulative optimizer time re-planning may
+	// spend (default 250ms); once exceeded, further trips degrade.
+	MaxPlanningTime time.Duration
+	// Tolerance is the q-error a band violation must exceed to trip a
+	// guard (default 2): small misses are the estimation model being an
+	// estimation model, not a reason to abandon a running plan.
+	Tolerance float64
+
+	// Deadline, when positive, bounds the query's total execution time.
+	Deadline time.Duration
+	// NoProgressTimeout, when positive, cancels the query when no tuples
+	// advance for that long — the query is stuck, not slow.
+	NoProgressTimeout time.Duration
+
+	// Registry receives re-opt counters and temp-leak audit tallies; nil
+	// disables.
+	Registry *obs.Registry
+}
+
+// withDefaults fills the zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 2
+	}
+	if p.MaxPlanningTime == 0 {
+		p.MaxPlanningTime = 250 * time.Millisecond
+	}
+	if p.Tolerance == 0 {
+		p.Tolerance = 2
+	}
+	if p.Params == (physical.Params{}) {
+		p.Params = physical.DefaultParams()
+	}
+	return p
+}
+
+// Remedy is the controller's decision after a guard trip.
+type Remedy int
+
+const (
+	// RemedyDegrade finishes the current plan over the temporary.
+	RemedyDegrade Remedy = iota
+	// RemedySwitch re-runs the dynamic plan's start-up decision under
+	// corrected bindings.
+	RemedySwitch
+	// RemedyReplan re-enters the optimizer with the temporary as a base
+	// relation.
+	RemedyReplan
+)
+
+// String names the remedy.
+func (r Remedy) String() string {
+	switch r {
+	case RemedySwitch:
+		return "switch"
+	case RemedyReplan:
+		return "replan"
+	default:
+		return "degrade"
+	}
+}
+
+// Violation is the typed error a tripped cardinality guard raises. It
+// unwraps to qerr.ErrCardinalityViolation, and the executor's operator
+// attribution wraps it in a qerr.OpError on the way out, so callers without
+// a re-opt stage still get a fully classified failure.
+type Violation struct {
+	// Node is the plan node whose materialization tripped the guard.
+	Node *physical.Node
+	// Op and Rel attribute the violation (operator label, base relation).
+	Op, Rel string
+	// Observed is the materialized row count; Band the predicted interval;
+	// QError the miss factor.
+	Observed int
+	Band     obs.BandCheck
+	QError   float64
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("cardinality guard tripped at %s [%s]: observed %d rows outside predicted [%.3g, %.3g] (q-error %.3g)",
+		v.Op, v.Rel, v.Observed, v.Band.Lo, v.Band.Hi, v.QError)
+}
+
+// Unwrap classifies the violation under the qerr taxonomy.
+func (v *Violation) Unwrap() error { return qerr.ErrCardinalityViolation }
+
+// tripInfo records one tripped relation: where its rows were spooled and
+// what was observed.
+type tripInfo struct {
+	temp     string
+	observed int
+	rowBytes int
+}
+
+// Controller owns one query's re-optimization state: the policy and
+// budget, the spooled temporaries, the per-relation trips and observed
+// selectivities, and the decision trace. It is created per execution
+// attempt by the pipeline's re-opt stage and must be finished exactly once
+// (Finish releases the temporaries; it is idempotent). All methods are safe
+// for concurrent use — guards run on the executor goroutine while the
+// watchdog runs on its own.
+type Controller struct {
+	pol Policy
+	reg *obs.Registry
+
+	mu        sync.Mutex
+	temps     map[string]*exec.Temp
+	trips     map[string]tripInfo
+	overrides map[string]float64
+	events    []obs.ReoptEvent
+	lastTrip  *Violation
+	attempts  int
+	planning  time.Duration
+	created   int
+	released  int
+	stalls    int
+	switched  bool
+	replanned bool
+	degraded  bool
+	finished  bool
+}
+
+// NewController returns a controller for one query execution under pol.
+func NewController(pol Policy) *Controller {
+	pol = pol.withDefaults()
+	return &Controller{
+		pol:       pol,
+		reg:       pol.Registry,
+		temps:     make(map[string]*exec.Temp),
+		trips:     make(map[string]tripInfo),
+		overrides: make(map[string]float64),
+	}
+}
+
+// emit appends an event and forwards it to the registry. Callers hold mu —
+// error paths carry no ExecResult, so the registry must see every event as
+// it happens, not at result-assembly time.
+func (c *Controller) emit(e obs.ReoptEvent) {
+	c.events = append(c.events, e)
+	c.reg.RecordReopt([]obs.ReoptEvent{e})
+}
+
+// fill copies a violation's attribution into an event.
+func fill(e obs.ReoptEvent, v *Violation) obs.ReoptEvent {
+	if v != nil {
+		e.Op, e.Rel = v.Op, v.Rel
+		e.Observed = float64(v.Observed)
+		e.PredictedLo, e.PredictedHi = v.Band.Lo, v.Band.Hi
+		e.QError = v.QError
+	}
+	return e
+}
+
+// bandInfo is one guarded node's predicted band plus the handles needed to
+// correct the estimate after a trip.
+type bandInfo struct {
+	check    obs.BandCheck
+	rel      string
+	variable string
+	baseCard int
+}
+
+// guard implements exec.MatGuard for one plan execution.
+type guard struct {
+	c     *Controller
+	tol   float64
+	bands map[*physical.Node]bandInfo
+	acc   *storage.Accountant
+}
+
+// Guard returns the cardinality guard for one execution of root: every
+// node whose subtree reads exactly one base relation (temporaries excluded
+// — their cardinality is observed, hence exact) is banded with the cost
+// model's predicted cardinality interval under env. A degraded controller
+// returns nil: the decision to finish the current plan must not be
+// re-litigated by the plan it decided to finish.
+func (c *Controller) Guard(model *physical.Model, env *bindings.Env, root *physical.Node, acc *storage.Accountant) exec.MatGuard {
+	c.mu.Lock()
+	degraded := c.degraded
+	c.mu.Unlock()
+	if degraded || root == nil {
+		return nil
+	}
+	sess := model.NewSession(env)
+	bands := make(map[*physical.Node]bandInfo)
+	memo := make(map[*physical.Node]string)
+	// relOf returns the single base relation a subtree reads, or "" when
+	// the subtree is disqualified: it reads several relations, or it reads
+	// a temporary (whose cardinality is observed, hence exact).
+	var relOf func(n *physical.Node) string
+	relOf = func(n *physical.Node) string {
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		memo[n] = ""
+		if n.Op == physical.TempScan {
+			return ""
+		}
+		rel := n.Rel
+		for _, ch := range n.Children {
+			cr := relOf(ch)
+			if cr == "" || (rel != "" && rel != cr) {
+				return ""
+			}
+			rel = cr
+		}
+		memo[n] = rel
+		return rel
+	}
+	root.Walk(func(n *physical.Node) {
+		rel := relOf(n)
+		if rel == "" {
+			return
+		}
+		ev := sess.Evaluate(n)
+		variable, baseCard := subplanScanInfo(n)
+		bands[n] = bandInfo{
+			check:    obs.BandCheck{Lo: ev.Card.Lo, Hi: ev.Card.Hi},
+			rel:      rel,
+			variable: variable,
+			baseCard: baseCard,
+		}
+	})
+	return &guard{c: c, tol: c.pol.Tolerance, bands: bands, acc: acc}
+}
+
+// CheckMat is the executor's materialization hook: compare the observed
+// row count against the node's band and trip the controller on a
+// violation beyond the tolerance.
+func (g *guard) CheckMat(n *physical.Node, count int, schema exec.Schema, rows func() []storage.Row) error {
+	b, ok := g.bands[n]
+	if !ok {
+		return nil
+	}
+	qe, viol := b.check.Verdict(float64(count))
+	if !viol || qe <= g.tol {
+		return nil
+	}
+	return g.c.trip(n, b, count, qe, schema, rows, g.acc)
+}
+
+// trip spools the materialized rows into a temporary, corrects the
+// relation's selectivity estimate, and raises the violation. A relation
+// that already tripped does not trip again — its temporary already carries
+// the truth, and the plan reading it is the remedy, not a new problem.
+func (c *Controller) trip(n *physical.Node, b bandInfo, count int, qe float64, schema exec.Schema, rows func() []storage.Row, acc *storage.Accountant) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.degraded || c.finished {
+		return nil
+	}
+	if _, dup := c.trips[b.rel]; dup {
+		return nil
+	}
+	tempName := "reopt_" + b.rel
+	t := storage.NewTable(tempName, n.RowBytes)
+	for _, r := range rows() {
+		t.Append(r)
+	}
+	if acc != nil {
+		// Spooling is charged honestly: keeping the finished work is not
+		// free, and the benchmarks must report the net benefit.
+		acc.Write(int64(t.NumPages()))
+	}
+	c.temps[tempName] = &exec.Temp{Schema: schema, Table: t}
+	c.created++
+	if c.reg != nil {
+		c.reg.ReoptTempsCreated.Add(1)
+	}
+	c.trips[b.rel] = tripInfo{temp: tempName, observed: count, rowBytes: n.RowBytes}
+	if b.variable != "" && b.baseCard > 0 {
+		s := float64(count) / float64(b.baseCard)
+		if s > 1 {
+			s = 1
+		}
+		c.overrides[b.variable] = s
+	}
+	v := &Violation{Node: n, Op: n.Label(), Rel: b.rel, Observed: count, Band: b.check, QError: qe}
+	c.lastTrip = v
+	return v
+}
+
+// Decide charges one attempt against the budget and picks the remedy:
+// switch when a dynamic plan survives to re-activate, re-plan when the
+// logical query is available, degrade when neither — or when the budget
+// (attempts or cumulative planning time) is exhausted.
+func (c *Controller) Decide(v *Violation, canSwitch, canReplan bool) Remedy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attempts++
+	c.emit(fill(obs.ReoptEvent{Stage: "violation", Attempt: c.attempts}, v))
+	if c.attempts > c.pol.MaxAttempts || c.planning > c.pol.MaxPlanningTime {
+		return RemedyDegrade
+	}
+	if canSwitch {
+		return RemedySwitch
+	}
+	if canReplan {
+		return RemedyReplan
+	}
+	return RemedyDegrade
+}
+
+// NoteSwitch records that the switch remedy was taken.
+func (c *Controller) NoteSwitch(v *Violation, note string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.switched = true
+	e := fill(obs.ReoptEvent{Stage: "switch", Attempt: c.attempts, Note: note}, v)
+	c.emit(e)
+}
+
+// Replan re-enters the optimizer with every tripped relation replaced by a
+// derived base relation of its observed cardinality (selection already
+// applied, indexes gone — a temporary has neither), then rewrites the
+// fresh plan's scans of those relations into Temp-Scans over the spooled
+// rows. The finished work is resumed, not recomputed.
+func (c *Controller) Replan(ctx context.Context, b *bindings.Bindings) (*physical.Node, cost.Cost, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return nil, cost.Cost{}, fmt.Errorf("reopt: replanning aborted: %w", qerr.FromContext(context.Cause(ctx)))
+	}
+	if c.pol.Query == nil {
+		return nil, cost.Cost{}, fmt.Errorf("reopt: replanning requires the logical query")
+	}
+	start := time.Now()
+	dq, err := c.deriveQuery()
+	if err != nil {
+		return nil, cost.Cost{}, err
+	}
+	corrected := c.CorrectBindings(b)
+	res, err := runtimeopt.OptimizeRuntime(dq, corrected, c.pol.Config)
+	elapsed := time.Since(start)
+	c.mu.Lock()
+	c.planning += elapsed
+	c.mu.Unlock()
+	if err != nil {
+		return nil, cost.Cost{}, fmt.Errorf("reopt: re-optimization failed: %w", err)
+	}
+	sess := physical.NewModel(c.pol.Params).NewSession(corrected.Env())
+	forced := c.rewriteScans(resolveChoose(res.Plan, sess))
+	c.mu.Lock()
+	c.replanned = true
+	e := fill(obs.ReoptEvent{
+		Stage:         "replan",
+		Attempt:       c.attempts,
+		PlanningNanos: elapsed.Nanoseconds(),
+		Note:          fmt.Sprintf("re-optimized with %d temp(s) as base relations", len(c.trips)),
+	}, c.lastTrip)
+	c.emit(e)
+	c.mu.Unlock()
+	return forced, res.Cost, nil
+}
+
+// deriveQuery clones the logical query with every tripped relation replaced
+// by a derived relation of the observed cardinality. The derived relation
+// keeps the original name — the temporary's schema columns are qualified
+// with it — but drops the selection predicate (already applied in the
+// spooled rows) and the B-tree flags (a temporary has no indexes), so the
+// optimizer can only plan a sequential read of the truth.
+func (c *Controller) deriveQuery() (*logical.Query, error) {
+	c.mu.Lock()
+	trips := make(map[string]tripInfo, len(c.trips))
+	for k, v := range c.trips {
+		trips[k] = v
+	}
+	c.mu.Unlock()
+	src := c.pol.Query
+	dq := &logical.Query{
+		Rels:  make([]logical.QRel, len(src.Rels)),
+		Edges: make([]logical.JoinEdge, len(src.Edges)),
+	}
+	attrMap := make(map[*catalog.Attribute]*catalog.Attribute)
+	for i, qr := range src.Rels {
+		ti, tripped := trips[qr.Rel.Name]
+		if !tripped {
+			dq.Rels[i] = qr
+			continue
+		}
+		attrs := make([]*catalog.Attribute, len(qr.Rel.Attrs))
+		for j, a := range qr.Rel.Attrs {
+			na := catalog.NewAttribute(a.Name, a.DomainSize, false)
+			attrs[j] = na
+			attrMap[a] = na
+		}
+		nr := catalog.NewRelation(qr.Rel.Name, ti.observed, qr.Rel.RecordBytes, attrs...)
+		dq.Rels[i] = logical.QRel{Rel: nr}
+	}
+	for i, e := range src.Edges {
+		ne := e
+		if na, ok := attrMap[e.LeftAttr]; ok {
+			ne.LeftAttr = na
+		}
+		if na, ok := attrMap[e.RightAttr]; ok {
+			ne.RightAttr = na
+		}
+		dq.Edges[i] = ne
+	}
+	if err := dq.Validate(); err != nil {
+		return nil, fmt.Errorf("reopt: derived query invalid: %w", err)
+	}
+	return dq, nil
+}
+
+// rewriteScans redirects every scan of a tripped relation to its
+// temporary. The derived relations carry no indexes, so these scans are
+// sequential and unordered; no Sort wrapping is needed here — any order
+// the new plan needs it plans explicitly.
+func (c *Controller) rewriteScans(root *physical.Node) *physical.Node {
+	c.mu.Lock()
+	trips := make(map[string]tripInfo, len(c.trips))
+	for k, v := range c.trips {
+		trips[k] = v
+	}
+	c.mu.Unlock()
+	replace := make(map[*physical.Node]*physical.Node)
+	root.Walk(func(n *physical.Node) {
+		if !n.Op.IsScan() {
+			return
+		}
+		if ti, ok := trips[n.Rel]; ok {
+			replace[n] = &physical.Node{
+				Op:       physical.TempScan,
+				Rel:      ti.temp,
+				BaseCard: ti.observed,
+				RowBytes: ti.rowBytes,
+			}
+		}
+	})
+	if len(replace) == 0 {
+		return root
+	}
+	return substitute(root, replace)
+}
+
+// Rewrite splices the temporaries into a (re-activated or degraded) plan:
+// every maximal single-relation subplan over a tripped relation is replaced
+// by a Temp-Scan of its spooled rows, Sort-wrapped when the subplan
+// promised an order — a temporary's row order is a materialization
+// accident (hash-table flattening), never a promise.
+func (c *Controller) Rewrite(root *physical.Node) *physical.Node {
+	c.mu.Lock()
+	trips := make(map[string]tripInfo, len(c.trips))
+	for k, v := range c.trips {
+		trips[k] = v
+	}
+	c.mu.Unlock()
+	if len(trips) == 0 || root == nil {
+		return root
+	}
+	replace := make(map[*physical.Node]*physical.Node)
+	for _, base := range baseSubplans(root) {
+		ti, ok := trips[baseRelation(base)]
+		if !ok {
+			continue
+		}
+		scan := &physical.Node{
+			Op:       physical.TempScan,
+			Rel:      ti.temp,
+			BaseCard: ti.observed,
+			RowBytes: ti.rowBytes,
+		}
+		if o := base.Ordering(); o != "" {
+			replace[base] = &physical.Node{
+				Op:       physical.Sort,
+				Attr:     o,
+				RowBytes: base.RowBytes,
+				Children: []*physical.Node{scan},
+			}
+		} else {
+			replace[base] = scan
+		}
+	}
+	if len(replace) == 0 {
+		return root
+	}
+	return substitute(root, replace)
+}
+
+// DegradeRoot commits to finishing the current plan over the temporaries:
+// the budget is spent (or no remedy is possible), so guards are disarmed
+// and the plan runs to completion.
+func (c *Controller) DegradeRoot(root *physical.Node, note string) *physical.Node {
+	rewritten := c.Rewrite(root)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.degraded = true
+	c.emit(fill(obs.ReoptEvent{Stage: "degrade", Attempt: c.attempts, Note: note}, c.lastTrip))
+	return rewritten
+}
+
+// CorrectBindings returns b with every observed selectivity override
+// applied. The result feeds cost evaluation only — start-up decisions,
+// guard bands, predictions. It must never reach execution: a predicate's
+// literal is selectivity × domain, and moving it would change the query's
+// answer, not its plan.
+func (c *Controller) CorrectBindings(b *bindings.Bindings) *bindings.Bindings {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.overrides) == 0 {
+		return b
+	}
+	nb := bindings.NewBindings(b.Memory)
+	for k, v := range b.Sel {
+		nb.Sel[k] = v
+	}
+	for k, v := range c.overrides {
+		if v > 1 {
+			v = 1
+		}
+		if v < 0 {
+			v = 0
+		}
+		nb.Sel[k] = v
+	}
+	return nb
+}
+
+// Temps returns the controller's live temporaries, for the executor's temp
+// namespace. The map is shared: trips during an attempt become visible to
+// the next attempt's executor.
+func (c *Controller) Temps() map[string]*exec.Temp { return c.temps }
+
+// Finish releases every temporary. It is idempotent — the pipeline defers
+// it, and every path (success, typed error, panic recovery) must release
+// exactly once.
+func (c *Controller) Finish() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return
+	}
+	c.finished = true
+	if n := len(c.temps); n > 0 {
+		c.released += n
+		if c.reg != nil {
+			c.reg.ReoptTempsReleased.Add(int64(n))
+		}
+	}
+	clear(c.temps)
+}
+
+// Account is the per-query re-optimization summary an ExecResult carries.
+type Account struct {
+	// Events is the decision trace, in order.
+	Events []obs.ReoptEvent `json:"events,omitempty"`
+	// Attempts counts guard trips the controller remedied; Switched,
+	// Replanned, and Degraded record which remedies ran.
+	Attempts  int  `json:"attempts"`
+	Switched  bool `json:"switched,omitempty"`
+	Replanned bool `json:"replanned,omitempty"`
+	Degraded  bool `json:"degraded,omitempty"`
+	// TempsCreated counts the spooled temporaries; PlanningNanos the
+	// cumulative optimizer time re-planning spent; Stalls the watchdog's
+	// no-progress trips.
+	TempsCreated  int   `json:"temps_created,omitempty"`
+	PlanningNanos int64 `json:"planning_ns,omitempty"`
+	Stalls        int   `json:"stalls,omitempty"`
+}
+
+// Account returns the controller's summary, or nil when nothing happened —
+// the common case must cost an ExecResult nothing.
+func (c *Controller) Account() *Account {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events) == 0 && c.attempts == 0 && c.stalls == 0 {
+		return nil
+	}
+	return &Account{
+		Events:        append([]obs.ReoptEvent(nil), c.events...),
+		Attempts:      c.attempts,
+		Switched:      c.switched,
+		Replanned:     c.replanned,
+		Degraded:      c.degraded,
+		TempsCreated:  c.created,
+		PlanningNanos: c.planning.Nanoseconds(),
+		Stalls:        c.stalls,
+	}
+}
+
+// TempBalance reports the created/released tally, for leak audits.
+func (c *Controller) TempBalance() (created, released int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.created, c.released
+}
+
+// subplanScanInfo returns the host variable of the subtree's selection
+// predicate (if any) and the scanned relation's unfiltered cardinality.
+func subplanScanInfo(n *physical.Node) (string, int) {
+	variable := ""
+	baseCard := 0
+	n.Walk(func(m *physical.Node) {
+		if m.Var != "" {
+			variable = m.Var
+		}
+		if m.Op.IsScan() {
+			baseCard = m.BaseCard
+		}
+	})
+	return variable, baseCard
+}
+
+// baseSubplans returns the distinct maximal subplans whose subtrees consist
+// only of scans, filters, and choose-plans over a single relation — the
+// units a temporary can substitute for (see internal/adaptive for the §7
+// original of this decomposition).
+func baseSubplans(root *physical.Node) []*physical.Node {
+	var out []*physical.Node
+	seen := make(map[*physical.Node]bool)
+	var walk func(n *physical.Node)
+	walk = func(n *physical.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if isBaseSubplan(n) {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+func isBaseSubplan(n *physical.Node) bool {
+	rels := make(map[string]bool)
+	return collectBase(n, rels) && len(rels) == 1
+}
+
+func collectBase(n *physical.Node, rels map[string]bool) bool {
+	switch n.Op {
+	case physical.FileScan, physical.BtreeScan, physical.FilterBtreeScan:
+		rels[n.Rel] = true
+		return true
+	case physical.Filter, physical.ChoosePlan:
+		for _, c := range n.Children {
+			if !collectBase(c, rels) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// baseRelation returns the single relation a base subplan scans.
+func baseRelation(n *physical.Node) string {
+	if n.Op.IsScan() {
+		return n.Rel
+	}
+	for _, c := range n.Children {
+		if r := baseRelation(c); r != "" {
+			return r
+		}
+	}
+	return ""
+}
+
+// resolveChoose reduces every choose-plan under n to its cheapest
+// alternative under the session's environment.
+func resolveChoose(n *physical.Node, sess *physical.Session) *physical.Node {
+	if n.Op == physical.ChoosePlan {
+		best := n.Children[0]
+		bc := sess.Evaluate(best).Cost.Lo
+		for _, c := range n.Children[1:] {
+			if cc := sess.Evaluate(c).Cost.Lo; cc < bc {
+				best, bc = c, cc
+			}
+		}
+		return resolveChoose(best, sess)
+	}
+	children := make([]*physical.Node, len(n.Children))
+	changed := false
+	for i, c := range n.Children {
+		children[i] = resolveChoose(c, sess)
+		changed = changed || children[i] != c
+	}
+	if !changed {
+		return n
+	}
+	clone := *n
+	clone.Children = children
+	return &clone
+}
+
+// substitute rebuilds the DAG with the given node replacements, cloning
+// only the spine above a replacement so shared subplans stay shared.
+func substitute(n *physical.Node, replace map[*physical.Node]*physical.Node) *physical.Node {
+	memo := make(map[*physical.Node]*physical.Node)
+	var walk func(m *physical.Node) *physical.Node
+	walk = func(m *physical.Node) *physical.Node {
+		if r, ok := replace[m]; ok {
+			return r
+		}
+		if r, ok := memo[m]; ok {
+			return r
+		}
+		children := make([]*physical.Node, len(m.Children))
+		changed := false
+		for i, c := range m.Children {
+			children[i] = walk(c)
+			changed = changed || children[i] != c
+		}
+		r := m
+		if changed {
+			clone := *m
+			clone.Children = children
+			r = &clone
+		}
+		memo[m] = r
+		return r
+	}
+	return walk(n)
+}

@@ -1,0 +1,209 @@
+package reopt
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dynplan/internal/obs"
+	"dynplan/internal/qerr"
+	"dynplan/internal/storage"
+)
+
+// TestWatchdogCancelsStalledQuery pins the no-progress trip: an
+// accountant whose tuple counter never moves must get its context
+// canceled with a cause wrapping qerr.ErrNoProgress, and the stall must
+// be counted.
+func TestWatchdogCancelsStalledQuery(t *testing.T) {
+	c := NewController(Policy{NoProgressTimeout: 20 * time.Millisecond})
+	acc := &storage.Accountant{}
+	ctx, stop := c.StartWatchdog(context.Background(), acc)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never fired on a stalled accountant")
+	}
+	if cause := context.Cause(ctx); !errors.Is(cause, qerr.ErrNoProgress) {
+		t.Errorf("cancellation cause = %v, want ErrNoProgress", cause)
+	}
+	if acct := c.Account(); acct == nil || acct.Stalls != 1 {
+		t.Errorf("account after stall: %+v, want Stalls=1", acct)
+	}
+}
+
+// TestWatchdogToleratesProgress pins the inverse: tuples that keep
+// advancing — however slowly in wall time — must never trip the watchdog.
+func TestWatchdogToleratesProgress(t *testing.T) {
+	c := NewController(Policy{NoProgressTimeout: 60 * time.Millisecond})
+	acc := &storage.Accountant{}
+	ctx, stop := c.StartWatchdog(context.Background(), acc)
+	defer stop()
+	for i := 0; i < 10; i++ {
+		acc.Tuples(1)
+		time.Sleep(15 * time.Millisecond)
+		if ctx.Err() != nil {
+			t.Fatalf("watchdog fired despite progress: %v", context.Cause(ctx))
+		}
+	}
+	stop()
+	if acct := c.Account(); acct != nil && acct.Stalls != 0 {
+		t.Errorf("stalls counted on a progressing query: %+v", acct)
+	}
+}
+
+// TestWatchdogStopIdempotent pins the shutdown contract: stop must be
+// callable more than once, and after it returns the goroutine is gone
+// (the chaos soak asserts the global goroutine count; this pins the unit
+// behavior).
+func TestWatchdogStopIdempotent(t *testing.T) {
+	c := NewController(Policy{NoProgressTimeout: time.Hour})
+	ctx, stop := c.StartWatchdog(context.Background(), &storage.Accountant{})
+	stop()
+	stop()
+	if cause := context.Cause(ctx); !errors.Is(cause, context.Canceled) {
+		t.Errorf("stopped watchdog context cause = %v, want Canceled", cause)
+	}
+}
+
+// TestWatchdogDisabled pins the zero-cost path: without a timeout (or
+// without an accountant) the parent context is returned untouched.
+func TestWatchdogDisabled(t *testing.T) {
+	c := NewController(Policy{})
+	parent := context.Background()
+	ctx, stop := c.StartWatchdog(parent, &storage.Accountant{})
+	if ctx != parent {
+		t.Error("disabled watchdog wrapped the context")
+	}
+	stop()
+	ctx, stop = NewController(Policy{NoProgressTimeout: time.Second}).StartWatchdog(parent, nil)
+	if ctx != parent {
+		t.Error("watchdog without an accountant wrapped the context")
+	}
+	stop()
+}
+
+// TestDeadlineCause pins the typed deadline: the expired context's cause
+// must wrap qerr.ErrDeadlineExceeded, and a zero deadline must return the
+// context unchanged.
+func TestDeadlineCause(t *testing.T) {
+	c := NewController(Policy{Deadline: 10 * time.Millisecond})
+	ctx, cancel := c.WithDeadline(context.Background())
+	defer cancel()
+	<-ctx.Done()
+	if cause := context.Cause(ctx); !errors.Is(cause, qerr.ErrDeadlineExceeded) {
+		t.Errorf("deadline cause = %v, want ErrDeadlineExceeded", cause)
+	}
+	parent := context.Background()
+	ctx2, cancel2 := NewController(Policy{}).WithDeadline(parent)
+	defer cancel2()
+	if ctx2 != parent {
+		t.Error("zero deadline wrapped the context")
+	}
+}
+
+// TestReplanCanceledContext pins cancellation during re-planning: a
+// canceled context aborts Replan with a typed error before any optimizer
+// work runs.
+func TestReplanCanceledContext(t *testing.T) {
+	c := NewController(Policy{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Replan(ctx, nil)
+	if err == nil || !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("Replan on canceled ctx = %v, want ErrCanceled", err)
+	}
+}
+
+// TestReplanRequiresQuery pins the remedy precondition.
+func TestReplanRequiresQuery(t *testing.T) {
+	c := NewController(Policy{})
+	if _, _, err := c.Replan(context.Background(), nil); err == nil {
+		t.Fatal("Replan without a query succeeded")
+	}
+}
+
+// TestDecideBudget pins the escalation ladder: within budget the
+// controller prefers switch over re-plan over degrade; past MaxAttempts
+// every trip degrades.
+func TestDecideBudget(t *testing.T) {
+	c := NewController(Policy{MaxAttempts: 1})
+	v := &Violation{Op: "Sort", Rel: "R", Observed: 10, Band: obs.BandCheck{Lo: 1, Hi: 2}, QError: 5}
+	if r := c.Decide(v, true, true); r != RemedySwitch {
+		t.Errorf("first trip = %v, want switch", r)
+	}
+	if r := c.Decide(v, true, true); r != RemedyDegrade {
+		t.Errorf("trip past MaxAttempts = %v, want degrade", r)
+	}
+
+	c = NewController(Policy{MaxAttempts: 3})
+	if r := c.Decide(v, false, true); r != RemedyReplan {
+		t.Errorf("no module = %v, want replan", r)
+	}
+	if r := c.Decide(v, false, false); r != RemedyDegrade {
+		t.Errorf("no remedy available = %v, want degrade", r)
+	}
+}
+
+// TestDecidePlanningTimeBudget pins the second budget axis: once the
+// cumulative optimizer time exceeds MaxPlanningTime, trips degrade even
+// with attempts to spare.
+func TestDecidePlanningTimeBudget(t *testing.T) {
+	c := NewController(Policy{MaxAttempts: 10, MaxPlanningTime: time.Nanosecond})
+	c.mu.Lock()
+	c.planning = time.Second
+	c.mu.Unlock()
+	v := &Violation{Op: "Sort", Rel: "R", QError: 5}
+	if r := c.Decide(v, true, true); r != RemedyDegrade {
+		t.Errorf("over planning budget = %v, want degrade", r)
+	}
+}
+
+// TestFinishIdempotent pins the release contract the leak audit depends
+// on: however many times Finish runs, each temporary is released exactly
+// once.
+func TestFinishIdempotent(t *testing.T) {
+	reg := obs.NewRegistry(4)
+	c := NewController(Policy{Registry: reg})
+	c.mu.Lock()
+	c.temps["reopt_R"] = nil
+	c.created = 1
+	c.mu.Unlock()
+	reg.ReoptTempsCreated.Add(1)
+	c.Finish()
+	c.Finish()
+	created, released := c.TempBalance()
+	if created != 1 || released != 1 {
+		t.Errorf("balance = (%d, %d), want (1, 1)", created, released)
+	}
+	if got := reg.ReoptTempsReleased.Load(); got != 1 {
+		t.Errorf("registry released = %d, want 1", got)
+	}
+}
+
+// TestViolationTyped pins the error taxonomy: a violation matches
+// qerr.ErrCardinalityViolation through errors.Is and renders its
+// attribution.
+func TestViolationTyped(t *testing.T) {
+	v := &Violation{Op: "Hash-Join", Rel: "R", Observed: 100, Band: obs.BandCheck{Lo: 10, Hi: 20}, QError: 5}
+	if !errors.Is(v, qerr.ErrCardinalityViolation) {
+		t.Error("violation does not match ErrCardinalityViolation")
+	}
+	msg := v.Error()
+	for _, want := range []string{"Hash-Join", "R", "100"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("violation message %q misses %q", msg, want)
+		}
+	}
+}
+
+// TestAccountNilWhenIdle pins the common-case cost: a controller that
+// never tripped returns a nil account.
+func TestAccountNilWhenIdle(t *testing.T) {
+	c := NewController(Policy{})
+	if acct := c.Account(); acct != nil {
+		t.Errorf("idle controller account = %+v, want nil", acct)
+	}
+}

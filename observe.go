@@ -78,6 +78,9 @@ func (r *ExecResult) ExplainAnalyze(p Params) string {
 	if len(r.Decisions) > 0 {
 		out += obs.RenderDecisions(r.Decisions)
 	}
+	if r.Reopt != nil {
+		out += obs.RenderReoptEvents(r.Reopt.Events)
+	}
 	return out
 }
 
@@ -125,6 +128,10 @@ func (r *ExecResult) RunRecordFor(name, query string, p Params) *RunRecord {
 		}
 		rec.Metrics["q-error-max"] = maxQ
 		rec.Metrics["interval-violations"] = float64(violations)
+	}
+	if r.Reopt != nil {
+		rec.Reopt = r.Reopt.Events
+		rec.Metrics["reopt-attempts"] = float64(r.Reopt.Attempts)
 	}
 	return rec
 }

@@ -13,7 +13,7 @@ package dynplan
 // the innermost stage runs the resolved plan. Stacks are compiled once
 // per Database (OpenDatabase) and validated against the canonical order
 //
-//	Record → Admit → Grant → Breaker → Retry → Activate → Run
+//	Record → Admit → Grant → Breaker → Retry → Reopt → Activate → Run
 //
 // Record is always the single outermost stage, which is what makes
 // exactly-one-recording per query structural: there is no inner layer
@@ -36,6 +36,7 @@ import (
 	"dynplan/internal/physical"
 	"dynplan/internal/plan"
 	"dynplan/internal/qerr"
+	"dynplan/internal/reopt"
 	"dynplan/internal/storage"
 )
 
@@ -63,6 +64,14 @@ const (
 	// downgrade memory or exclude picked branches, back off, re-enter the
 	// Activate stage.
 	stageRetry
+	// stageReopt is mid-query re-optimization: it arms cardinality guards
+	// and the progress watchdog over each execution attempt, and remedies
+	// guard violations by switching to a surviving choose-plan alternative,
+	// re-planning with the materialized temp as a base relation, or
+	// degrading to finishing the current plan when the budget is spent. It
+	// sits below Retry so a retry attempt gets a fresh re-opt budget, and
+	// above Activate so a switch re-enters start-up processing.
+	stageReopt
 	// stageActivate performs start-up-time processing: choose-plan
 	// resolution from the current grant and bindings, with avoid/blocked
 	// pruning and circuit-open fail-fast.
@@ -80,6 +89,7 @@ var stageNames = map[stageKind]string{
 	stageGrant:    "Grant",
 	stageBreaker:  "Breaker",
 	stageRetry:    "Retry",
+	stageReopt:    "Reopt",
 	stageActivate: "Activate",
 	stageRun:      "Run",
 }
@@ -172,6 +182,18 @@ type execState struct {
 	retries    int
 	backoffs   []time.Duration
 	retryTrace []obs.ChoiceTrace
+
+	// reopt enables the Reopt stage; rc is the stage's live controller
+	// (set for the duration of one reoptStage invocation, consumed by
+	// Activate for corrected bindings and by Run for guards and temps).
+	reopt *ReoptPolicy
+	rc    *reopt.Controller
+	// skipActivate makes Activate pass through: a re-planned or degraded
+	// root is already resolved and must not be overwritten by the module.
+	skipActivate bool
+	// acc, when set by the Reopt stage, is the accountant the Run stage
+	// must use — the progress watchdog polls its tuple counter.
+	acc *storage.Accountant
 }
 
 // pipelineFunc is a compiled (sub-)stack: the continuation each stage
@@ -222,7 +244,7 @@ func compilePipeline(kinds ...stageKind) (*pipeline, error) {
 		seen[k] = true
 		if i > 0 && kinds[i-1] >= k {
 			return bad(fmt.Sprintf("%v cannot follow %v (canonical order: %s)",
-				k, kinds[i-1], formatStack([]stageKind{stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageActivate, stageRun})))
+				k, kinds[i-1], formatStack([]stageKind{stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageReopt, stageActivate, stageRun})))
 		}
 	}
 	if kinds[0] != stageRecord {
@@ -290,6 +312,8 @@ func stageOf(k stageKind) stageFunc {
 		return breakerStage
 	case stageRetry:
 		return retryStage
+	case stageReopt:
+		return reoptStage
 	case stageActivate:
 		return activateStage
 	default:
@@ -318,6 +342,16 @@ type pipelines struct {
 	resilient *pipeline
 	// governed: the full stack.
 	governed *pipeline
+
+	// The reopt variants insert the Reopt stage into each base stack;
+	// ExecOptions.Reopt selects them. Kept as separate compiled stacks so
+	// the no-reopt paths stay byte-for-byte what they were.
+	plainReopt            *pipeline
+	governedPlainReopt    *pipeline
+	activateReopt         *pipeline
+	governedActivateReopt *pipeline
+	resilientReopt        *pipeline
+	governedReopt         *pipeline
 }
 
 func newPipelines() *pipelines {
@@ -328,6 +362,13 @@ func newPipelines() *pipelines {
 		governedActivate: mustPipeline(stageRecord, stageAdmit, stageGrant, stageActivate, stageRun),
 		resilient:        mustPipeline(stageRecord, stageBreaker, stageRetry, stageActivate, stageRun),
 		governed:         mustPipeline(stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageActivate, stageRun),
+
+		plainReopt:            mustPipeline(stageRecord, stageReopt, stageRun),
+		governedPlainReopt:    mustPipeline(stageRecord, stageAdmit, stageGrant, stageReopt, stageRun),
+		activateReopt:         mustPipeline(stageRecord, stageReopt, stageActivate, stageRun),
+		governedActivateReopt: mustPipeline(stageRecord, stageAdmit, stageGrant, stageReopt, stageActivate, stageRun),
+		resilientReopt:        mustPipeline(stageRecord, stageBreaker, stageRetry, stageReopt, stageActivate, stageRun),
+		governedReopt:         mustPipeline(stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageReopt, stageActivate, stageRun),
 	}
 }
 
@@ -534,6 +575,96 @@ func retryStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRes
 	}
 }
 
+// reoptStage is mid-query re-optimization. Per invocation (i.e. per retry
+// attempt above it) it creates one controller owning the re-opt budget and
+// the spooled temporaries, arms the per-query deadline, and loops: run the
+// plan under a progress watchdog with cardinality guards armed; on a guard
+// violation, remedy and re-run. The remedies escalate —
+//
+//   - switch: re-enter the Activate stage below, which re-resolves the
+//     dynamic plan's choose-plans under the observed (corrected)
+//     selectivities and splices the temporaries in;
+//   - replan: re-enter the optimizer with each temporary registered as a
+//     base relation of its observed cardinality, then run the fresh plan
+//     (Activate passes through — the root is already resolved);
+//   - degrade: budget exhausted; finish the current plan over the
+//     temporaries with guards disarmed.
+//
+// The temporaries are released exactly once on every path by the deferred
+// Finish. Non-violation errors pass through untouched, so the Retry stage
+// above keeps its classification authority.
+func reoptStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecResult, error) {
+	if st.reopt == nil {
+		return next(ctx, st)
+	}
+	// A previous controller (an earlier retry attempt) may have left a
+	// re-planned or degraded root referencing temporaries it released;
+	// re-entering Activate below re-resolves the module onto live state.
+	st.skipActivate = false
+	pol := *st.reopt
+	rp := reopt.Policy{
+		Config:            st.db.sys.cfg,
+		Params:            st.db.sys.params,
+		MaxAttempts:       pol.MaxAttempts,
+		MaxPlanningTime:   pol.MaxPlanningTime,
+		Tolerance:         pol.Tolerance,
+		Deadline:          pol.Deadline,
+		NoProgressTimeout: pol.NoProgressTimeout,
+		Registry:          st.db.metrics.Load(),
+	}
+	if pol.Query != nil {
+		rp.Query = pol.Query.Logical()
+		rp.Config.FinalOrder = pol.Query.OrderBy()
+	}
+	rc := reopt.NewController(rp)
+	st.rc = rc
+	defer func() {
+		st.rc = nil
+		st.acc = nil
+		rc.Finish()
+	}()
+	dctx, cancel := rc.WithDeadline(ctx)
+	defer cancel()
+	// One accountant spans every attempt: the result must account the
+	// violated attempt's partial work and the spool writes, not just the
+	// final plan's — the benchmarks report re-optimization's *net* benefit.
+	// The watchdog snapshots the tuple counter at each attempt's start, so
+	// accumulation never masks a stall.
+	st.acc = &storage.Accountant{}
+	for {
+		attemptCtx, stopWatchdog := rc.StartWatchdog(dctx, st.acc)
+		res, err := next(attemptCtx, st)
+		stopWatchdog()
+		if err == nil {
+			res.Reopt = rc.Account()
+			return res, nil
+		}
+		var v *reopt.Violation
+		if !errors.As(err, &v) {
+			return nil, err
+		}
+		canSwitch := st.module != nil && !st.skipActivate
+		canReplan := rp.Query != nil
+		switch rc.Decide(v, canSwitch, canReplan) {
+		case reopt.RemedySwitch:
+			rc.NoteSwitch(v, "re-activating surviving alternatives under corrected bindings")
+		case reopt.RemedyReplan:
+			bb := st.b
+			bb.MemoryPages = st.mem
+			forced, pc, rerr := rc.Replan(dctx, bb.internal())
+			if rerr != nil {
+				return nil, rerr
+			}
+			st.root = forced
+			st.planCost = pc
+			st.skipActivate = true
+		default:
+			st.root = rc.DegradeRoot(st.root, "re-optimization budget exhausted; finishing the current plan")
+			st.skipActivate = true
+		}
+	}
+}
+
 // activateStage performs start-up-time processing (§4): choose-plan
 // decision procedures resolve against the current grant (st.mem) and
 // bindings, avoiding branches failed attempts poisoned and relations
@@ -542,7 +673,9 @@ func retryStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRes
 // when the circuit breaker alone leaves none, the query fails fast with
 // ErrCircuitOpen rather than re-probing a poisoned access path.
 func activateStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecResult, error) {
-	if st.module == nil {
+	if st.module == nil || st.skipActivate {
+		// skipActivate: the Reopt stage installed a re-planned or degraded
+		// root that is already resolved; activation would overwrite it.
 		return next(ctx, st)
 	}
 	opts := plan.StartupOptions{Params: st.db.sys.params}
@@ -554,13 +687,20 @@ func activateStage(ctx context.Context, st *execState, next pipelineFunc) (*Exec
 	}
 	bb := st.b
 	bb.MemoryPages = st.mem
-	rep, err := st.module.mod.Activate(bb.internal(), opts)
+	ib := bb.internal()
+	if st.rc != nil {
+		// Observed selectivities correct the *cost* side of activation only;
+		// execution keeps the caller's bindings — predicate literals are
+		// selectivity × domain, and moving them would change the answer.
+		ib = st.rc.CorrectBindings(ib)
+	}
+	rep, err := st.module.mod.Activate(ib, opts)
 	if errors.Is(err, plan.ErrInfeasible) && len(st.avoid) > 0 {
 		// Every alternative has failed at least once; forgive the
 		// exclusions (breaker-blocked relations stay excluded) and try the
 		// remaining choice set again.
 		clear(st.avoid)
-		rep, err = st.module.mod.Activate(bb.internal(), opts)
+		rep, err = st.module.mod.Activate(ib, opts)
 	}
 	if errors.Is(err, plan.ErrInfeasible) && len(st.blocked) > 0 {
 		// The circuit breaker alone leaves no feasible plan: fail fast
@@ -578,6 +718,11 @@ func activateStage(ctx context.Context, st *execState, next pipelineFunc) (*Exec
 	}
 	st.rep = rep
 	st.root = rep.Chosen
+	if st.rc != nil {
+		// Splice spooled temporaries in place of already-observed base
+		// subplans: the switched-to plan resumes from the finished work.
+		st.root = st.rc.Rewrite(st.root)
+	}
 	st.planCost = st.module.mod.PlanCost()
 	res, err := next(ctx, st)
 	if err == nil && len(res.Decisions) == 0 {
@@ -597,7 +742,10 @@ func activateStage(ctx context.Context, st *execState, next pipelineFunc) (*Exec
 func runStatic(ctx context.Context, st *execState) (*ExecResult, error) {
 	db := st.db
 	reg := db.metrics.Load()
-	acc := &storage.Accountant{}
+	acc := st.acc
+	if acc == nil {
+		acc = &storage.Accountant{}
+	}
 	// Each execution collects into its own fresh window: the stats tree
 	// describes this run, and concurrent executions of the same plan never
 	// share counters. The injector pointer is snapshotted once, so a
@@ -618,8 +766,16 @@ func runStatic(ctx context.Context, st *execState) (*ExecResult, error) {
 	}
 	bb := st.b
 	bb.MemoryPages = st.mem
+	ib := bb.internal()
+	if st.rc != nil {
+		// The Reopt stage's temporaries and cardinality guards. Guard bands
+		// are evaluated under the corrected bindings; the execution itself
+		// runs under the caller's bindings, untouched.
+		e.Temps = st.rc.Temps()
+		e.Guards = st.rc.Guard(physical.NewModel(db.sys.params), st.rc.CorrectBindings(ib).Env(), st.root, acc)
+	}
 	absorbedBefore := inj.Stats().Absorbed
-	rows, schema, err := e.RunContext(ctx, st.root, bb.internal())
+	rows, schema, err := e.RunContext(ctx, st.root, ib)
 	if reg.Enabled() {
 		reg.Executions.Add(1)
 	}
@@ -646,7 +802,11 @@ func runStatic(ctx context.Context, st *execState) (*ExecResult, error) {
 		// plan interval rode along, the model's own evaluation of the
 		// resolved plan serves as the cost prediction.
 		model := physical.NewModel(db.sys.params)
-		predicted := exec.AnnotatePredictions(collector, model, bb.internal().Env(), st.root)
+		predEnv := ib.Env()
+		if st.rc != nil {
+			predEnv = st.rc.CorrectBindings(ib).Env()
+		}
+		predicted := exec.AnnotatePredictions(collector, model, predEnv, st.root)
 		planCost := st.planCost
 		if planCost.Hi <= 0 {
 			planCost = predicted

@@ -286,6 +286,9 @@ func TestExecResultFieldUniformity(t *testing.T) {
 			"ExecActivate": moduleTrace, "ExecuteResilient": moduleTrace, "ExecuteGoverned": moduleTrace,
 		}},
 		"Adaptive": {def: expectZero, overrides: map[string]fieldExpectation{"ExecAdaptive": expectSet}},
+		// No façade here enables re-optimization, and with a fresh catalog no
+		// guard would trip anyway; the account must stay uniformly nil.
+		"Reopt": {def: expectZero},
 	}
 
 	typ := reflect.TypeOf(ExecResult{})

@@ -1,0 +1,112 @@
+package dynplan
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dynplan/internal/obs"
+)
+
+// BenchmarkReoptStaleCatalog measures what mid-query re-optimization
+// costs and buys when the catalog lies: the same static plan over a
+// 3-relation chain whose middle relation really holds 4x its declared
+// cardinality, executed with guards off and with guards armed. The run
+// record (BENCH_reopt-stale-catalog.json) captures both sides — the
+// unguarded run's calibration q-error stays at the staleness factor,
+// the guarded run corrects its estimates mid-flight and pays for it in
+// spool writes and re-planning — so CI sees drift in either the remedy's
+// benefit or its price.
+func BenchmarkReoptStaleCatalog(b *testing.B) {
+	sys, q, db := reoptStaleDB(b, 3, "C2", 4)
+	p, err := sys.OptimizeStatic(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bind := resilBindings(3, 0.5, 64)
+	ctx := context.Background()
+
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec(ctx, p, bind, ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec(ctx, p, bind, ExecOptions{Reopt: &ReoptPolicy{Query: q}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if benchRecordDir() == "" {
+		return
+	}
+	// The record is computed outside the timed loops from one observed
+	// pair of executions; every metric derives from deterministic page
+	// and tuple counters, so re-runs produce byte-identical records.
+	db.EnableObservatory()
+	defer db.DisableObservatory()
+	off, err := db.Exec(ctx, p, bind, ExecOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	on, err := db.Exec(ctx, p, bind, ExecOptions{Reopt: &ReoptPolicy{Query: q}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if on.Reopt == nil {
+		b.Fatal("4x-stale catalog tripped no guard; the record would be vacuous")
+	}
+	if strings.Join(canonical(on), "\n") != strings.Join(canonical(off), "\n") {
+		b.Fatal("re-optimized rows differ from the unguarded execution")
+	}
+	params := DefaultParams()
+	rec := &obs.RunRecord{
+		Name:  "reopt-stale-catalog",
+		Query: "3-relation chain join, C2 4x stale: static plan unguarded vs with mid-query re-optimization armed",
+		Metrics: map[string]float64{
+			"off-sim-cost-s":    off.SimulatedSeconds(params),
+			"on-sim-cost-s":     on.SimulatedSeconds(params),
+			"off-q-error-max":   maxCalibrationQError(off),
+			"on-q-error-max":    maxCalibrationQError(on),
+			"reopt-attempts":    float64(on.Reopt.Attempts),
+			"temps-created":     float64(on.Reopt.TempsCreated),
+			"spool-page-writes": float64(on.PageWrites),
+			"rows":              float64(len(on.Rows)),
+		},
+		Reopt: stripWallClock(on.Reopt.Events),
+		// Gate the guarded run's simulated cost: it prices the whole
+		// remedy — violated attempt, spooling, re-planned finish.
+		SimCostTotal: on.SimulatedSeconds(params),
+	}
+	writeBenchRecord(b, rec)
+}
+
+// stripWallClock copies the re-opt events with their planning_ns zeroed:
+// it is the one wall-clock field in the trace, and the committed record
+// must be byte-identical across runs.
+func stripWallClock(events []obs.ReoptEvent) []obs.ReoptEvent {
+	out := make([]obs.ReoptEvent, len(events))
+	for i, e := range events {
+		e.PlanningNanos = 0
+		out[i] = e
+	}
+	return out
+}
+
+// maxCalibrationQError reduces an execution's calibration verdicts to
+// the headline the stale-catalog record tracks: the worst cardinality
+// miss. The plan-level cost verdict is excluded — its q-error is floored
+// against a sub-second prediction and would drown the estimate signal.
+func maxCalibrationQError(r *ExecResult) float64 {
+	maxQ := 0.0
+	for _, v := range r.Calibration {
+		if v.Kind == "cardinality" && v.QError > maxQ {
+			maxQ = v.QError
+		}
+	}
+	return maxQ
+}

@@ -12,7 +12,7 @@ import (
 
 // resilChainSystem builds an n-relation chain-query system like the
 // paper's experiment harness, plus the chain query over it.
-func resilChainSystem(t *testing.T, n int) (*System, *Query) {
+func resilChainSystem(t testing.TB, n int) (*System, *Query) {
 	t.Helper()
 	sys := New()
 	spec := QuerySpec{}
@@ -40,7 +40,7 @@ func resilChainSystem(t *testing.T, n int) (*System, *Query) {
 	return sys, q
 }
 
-func resilDatabase(t *testing.T, sys *System) *Database {
+func resilDatabase(t testing.TB, sys *System) *Database {
 	t.Helper()
 	db := sys.OpenDatabase()
 	if err := db.GenerateData(17); err != nil {
