@@ -229,6 +229,12 @@ type ExecResult struct {
 	// planning time spent. Nil when no guard tripped or re-optimization
 	// was not enabled.
 	Reopt *ReoptAccount
+
+	// Parallel carries the intra-query parallelism account when the query
+	// ran with ExecOptions.Parallel: the DOP the grant funded, why serial
+	// was kept when it was, and per-worker tallies of every exchange.
+	// Nil on every non-parallel path.
+	Parallel *obs.ParallelStats
 }
 
 // SimulatedSeconds converts the account to simulated execution time under

@@ -44,6 +44,18 @@ type ExecOptions struct {
 	// ReoptPolicy). Mutually exclusive with Adaptive — run-time decisions
 	// already observe before deciding.
 	Reopt *ReoptPolicy
+	// Parallel enables intra-query parallelism: at activation the memory
+	// grant sets the worker count (one worker per 16 granted pages, capped
+	// by MaxDOP), and the plan runs with partitioned parallel scans and
+	// symmetric streaming hash joins when the cost model prices that below
+	// serial execution — degree of parallelism is a costed alternative,
+	// selected the way low-memory choose-plan branches are. Answers are
+	// digest-identical to serial execution. The result's Parallel field
+	// reports the selection. Mutually exclusive with Adaptive.
+	Parallel bool
+	// MaxDOP caps the worker count Parallel may choose; 0 selects the
+	// default of 4.
+	MaxDOP int
 }
 
 // Exec is the single execution entry point behind every Execute* façade:
@@ -52,7 +64,7 @@ type ExecOptions struct {
 // Incompatible combinations (a Resilient non-module, an Adaptive
 // non-plan) fail fast with an error wrapping ErrPipeline.
 func (db *Database) Exec(ctx context.Context, q any, b Bindings, o ExecOptions) (*ExecResult, error) {
-	st := &execState{db: db, b: b, mem: b.MemoryPages, pol: o.Policy, run: runStatic}
+	st := &execState{db: db, b: b, mem: b.MemoryPages, pol: o.Policy, run: runStatic, par: o.Parallel, maxDOP: o.MaxDOP}
 	adaptiveTarget := false
 	switch t := q.(type) {
 	case *Module:
@@ -87,6 +99,9 @@ func (db *Database) Exec(ctx context.Context, q any, b Bindings, o ExecOptions) 
 		}
 		if o.Reopt != nil {
 			return nil, &PipelineError{Reason: "the Adaptive option excludes Reopt; run-time decisions already observe cardinalities before deciding"}
+		}
+		if o.Parallel {
+			return nil, &PipelineError{Reason: "the Adaptive option excludes Parallel; run-time decisions materialize serially by design"}
 		}
 		return db.pipes.plain.exec(ctx, st)
 	}

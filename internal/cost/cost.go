@@ -137,6 +137,16 @@ func (c Cost) AddScalar(v float64) Cost {
 	return Cost{Lo: c.Lo + v, Hi: c.Hi + v}
 }
 
+// DivScalar returns the interval scaled down by a positive factor — the
+// per-worker share of a cost split across d partitions. It panics on a
+// non-positive divisor, which would invert or poison the interval.
+func (c Cost) DivScalar(d float64) Cost {
+	if d <= 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("cost: DivScalar by %g", d))
+	}
+	return Cost{Lo: c.Lo / d, Hi: c.Hi / d}
+}
+
 // SubLower returns the branch-and-bound remainder of budget c after
 // spending d: only d's lower bound is subtracted from both bounds, since
 // only the lower bound of a subplan's cost is certain to be consumed

@@ -1,0 +1,156 @@
+package exec
+
+import (
+	"dynplan/internal/qerr"
+	"dynplan/internal/storage"
+)
+
+// batchRows is the row-vector length of the batched iterator protocol:
+// large enough to amortize per-call metering, cancellation polling, and
+// channel traffic across the exchange operators, small enough that an
+// exchange buffers only a few kilobytes per worker.
+const batchRows = 64
+
+// BatchIterator is the vectorized extension of Iterator: operators that
+// can produce rows in batches implement it, and consumers that can accept
+// batches (exchange workers, the parallel join's distributors) probe for
+// it via nextBatch. The scans, Filter, and the exchange operators
+// implement it; everything else is reached through the Next fallback.
+type BatchIterator interface {
+	Iterator
+	// NextBatch fills dst with up to len(dst) rows and returns how many
+	// were produced; 0 with a nil error is end of stream. Rows in dst
+	// follow the same reuse contract as Next: consumers that keep them
+	// past the following call must Clone.
+	NextBatch(dst []storage.Row) (int, error)
+}
+
+// nextBatch drains up to len(dst) rows from an iterator, using the
+// vectorized fast path when the iterator provides one and falling back to
+// a Next loop otherwise. Like NextBatch, 0 with a nil error is end of
+// stream.
+func nextBatch(it Iterator, dst []storage.Row) (int, error) {
+	if bi, ok := it.(BatchIterator); ok {
+		return bi.NextBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		row, ok, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		dst[n] = row
+		n++
+	}
+	return n, nil
+}
+
+// NextBatch on the heap-file scan: the page/slot advance of Next, with
+// one cancellation poll and one batched tuple charge per vector.
+func (it *fileScanIter) NextBatch(dst []storage.Row) (int, error) {
+	if err := it.db.checkCancel(); err != nil {
+		return 0, err
+	}
+	n := 0
+	for n < len(dst) && it.page < it.limit() {
+		row, err := it.table.Get(storage.RID{Page: int32(it.page), Slot: int32(it.slot)})
+		if err != nil {
+			it.page++
+			it.slot = 0
+			continue
+		}
+		if it.slot == 0 {
+			if err := it.db.pageRead(it.table.Name(), int32(it.page), true); err != nil {
+				return n, err
+			}
+		}
+		it.slot++
+		dst[n] = row
+		n++
+	}
+	if n > 0 {
+		it.db.Acc.Tuples(int64(n))
+	}
+	return n, nil
+}
+
+// NextBatch on the B-tree scan: fetch up to len(dst) of the drained RIDs.
+func (it *btreeScanIter) NextBatch(dst []storage.Row) (int, error) {
+	if err := it.db.checkCancel(); err != nil {
+		return 0, err
+	}
+	n := 0
+	for n < len(dst) && it.pos < len(it.rids) {
+		row, err := it.db.fetch(it.table, it.rids[it.pos])
+		if err != nil {
+			return n, err
+		}
+		it.pos++
+		dst[n] = row
+		n++
+	}
+	if n > 0 {
+		it.db.Acc.Tuples(int64(n))
+	}
+	return n, nil
+}
+
+// NextBatch on Filter: pull an input vector, keep the qualifying rows in
+// place. The per-input-row tuple charge matches the Next path exactly.
+func (it *filterIter) NextBatch(dst []storage.Row) (int, error) {
+	if it.buf == nil {
+		it.buf = make([]storage.Row, batchRows)
+	}
+	for {
+		if err := it.db.checkCancel(); err != nil {
+			return 0, err
+		}
+		buf := it.buf
+		if len(dst) < len(buf) {
+			buf = buf[:len(dst)]
+		}
+		m, err := nextBatch(it.child, buf)
+		if err != nil {
+			return 0, err
+		}
+		if m == 0 {
+			return 0, nil
+		}
+		it.db.Acc.Tuples(int64(m))
+		n := 0
+		for _, row := range buf[:m] {
+			if float64(row[it.col]) < it.limit {
+				dst[n] = row
+				n++
+			}
+		}
+		if n > 0 {
+			return n, nil
+		}
+	}
+}
+
+// NextBatch on the meter forwards the vector through one begin/end
+// measurement — the batched path's point: one accountant snapshot and one
+// clock read amortized over the whole vector instead of per row.
+func (m *meterIter) NextBatch(dst []storage.Row) (int, error) {
+	snap, absorbed, start := m.begin()
+	n, err := nextBatch(m.inner, dst)
+	m.c.NextCalls++
+	m.c.Rows += int64(n)
+	m.end(snap, absorbed, start)
+	return n, err
+}
+
+// NextBatch on the guard forwards the vector, wrapping any error with the
+// operator's identity like Next does.
+func (g *guardIter) NextBatch(dst []storage.Row) (int, error) {
+	n, err := nextBatch(g.inner, dst)
+	if err != nil {
+		return n, qerr.AtRel(g.op, g.rel, err)
+	}
+	return n, nil
+}

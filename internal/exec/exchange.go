@@ -1,0 +1,427 @@
+package exec
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"dynplan/internal/bindings"
+	"dynplan/internal/obs"
+	"dynplan/internal/physical"
+	"dynplan/internal/storage"
+)
+
+// This file is the intra-query parallelism layer: exchange operators that
+// split a base-relation scan into DOP partitioned workers and gather
+// their streams back into one Volcano iterator. The consumer side stays a
+// plain Iterator — parents never know their input is parallel — which is
+// what lets choose-plan activation, re-optimization guards, and the
+// retry/breaker stages compose with parallel execution unchanged.
+//
+// Isolation model: every worker goroutine runs over its own shallow DB
+// clone (workerClone) with a private accountant and poll counter, and
+// folds its I/O account into the parent's shared atomic accountant one
+// batch at a time — so the execution's totals equal the serial totals
+// exactly, and the progress watchdog polling the shared accountant sees
+// parallel work advance. Collectors, buffer pools, and guard hooks are
+// deliberately not shared: obs.Counters and storage.BufferPool are
+// single-threaded by design, so worker subtrees run unmetered and
+// unpooled, and the exchange reports per-worker tallies itself
+// (obs.ExchangeStats).
+
+// workerClone returns a shallow copy of the DB for one worker goroutine:
+// shared immutable state (catalog, store, indexes, temps, fault injector,
+// context), a private accountant and poll counter, and none of the
+// single-threaded hooks (collector, leak-check wrap, buffer pool,
+// materialization guards).
+func (db *DB) workerClone() *DB {
+	return &DB{
+		Catalog:  db.Catalog,
+		Store:    db.Store,
+		Indexes:  db.Indexes,
+		Acc:      &storage.Accountant{},
+		Temps:    db.Temps,
+		Ctx:      db.Ctx,
+		Faults:   db.Faults,
+		Wrap:     db.Wrap, // the leak checker is concurrency-safe
+		Parallel: db.Parallel,
+		Par:      db.Par,
+	}
+}
+
+// foldAccount adds src's charges since last into dst and returns the new
+// snapshot; exchange workers call it per batch so the shared account
+// advances while they run.
+func foldAccount(dst, src *storage.Accountant, last storage.AccountSnapshot) storage.AccountSnapshot {
+	cur := src.Snapshot()
+	d := cur.Sub(last)
+	if d.SeqPageReads != 0 {
+		dst.ReadSeq(d.SeqPageReads)
+	}
+	if d.RandPageReads != 0 {
+		dst.ReadRand(d.RandPageReads)
+	}
+	if d.PageWrites != 0 {
+		dst.Write(d.PageWrites)
+	}
+	if d.TupleOps != 0 {
+		dst.Tuples(d.TupleOps)
+	}
+	return cur
+}
+
+// exchangeWorker is one partitioned producer: a private DB clone, the
+// partition's iterator, and the tallies the exchange reports when it
+// closes.
+type exchangeWorker struct {
+	id  int
+	db  *DB
+	it  Iterator
+	out chan []storage.Row // ordered mode: this worker's own stream
+
+	err  error
+	rows int64
+}
+
+// run produces the worker's partition: open, drain in batches, fold the
+// I/O account upward, send each batch to out, close. It exits on end of
+// stream, on error, or when stop closes (the gather tore down early).
+func (w *exchangeWorker) run(out chan<- []storage.Row, stop <-chan struct{}, fold *storage.Accountant) {
+	var last storage.AccountSnapshot
+	err := func() error {
+		if err := w.it.Open(); err != nil {
+			return err
+		}
+		for {
+			buf := make([]storage.Row, batchRows)
+			n, nerr := nextBatch(w.it, buf)
+			last = foldAccount(fold, w.db.Acc, last)
+			if nerr != nil {
+				return nerr
+			}
+			if n == 0 {
+				return nil
+			}
+			w.rows += int64(n)
+			select {
+			case out <- buf[:n]:
+			case <-stop:
+				return nil
+			}
+		}
+	}()
+	if cerr := w.it.Close(); err == nil {
+		err = cerr
+	}
+	foldAccount(fold, w.db.Acc, last)
+	w.err = err
+}
+
+// counters converts the worker's final account into a per-worker tally.
+func (w *exchangeWorker) counters() obs.Counters {
+	s := w.db.Acc.Snapshot()
+	return obs.Counters{
+		Rows:          w.rows,
+		SeqPageReads:  s.SeqPageReads,
+		RandPageReads: s.RandPageReads,
+		PageWrites:    s.PageWrites,
+		TupleOps:      s.TupleOps,
+	}
+}
+
+// exchangeIter is the gather side of a partitioned parallel scan: at Open
+// it builds DOP workers (setup runs then, not at compile time, so re-opens
+// get fresh partitions), starts them, and merges their batch streams.
+// Unordered mode interleaves batches as workers produce them; ordered
+// mode concatenates the workers' streams in worker order, which preserves
+// a global order when the partitions are contiguous ranges of an ordered
+// input (the B-tree scan's RID chunks).
+type exchangeIter struct {
+	db    *DB
+	node  *physical.Node
+	kind  string
+	setup func() ([]*exchangeWorker, error)
+	// ordered selects concatenating gather (worker 0's whole stream, then
+	// worker 1's, …) instead of arrival-order interleaving.
+	ordered bool
+
+	workers []*exchangeWorker
+	merged  chan []storage.Row // unordered mode: shared output channel
+	stop    chan struct{}
+	wg      *sync.WaitGroup
+	started bool
+	closed  bool
+
+	widx      int // ordered mode: the worker currently being drained
+	cur       []storage.Row
+	pos       int
+	batches   int64
+	waitNanos int64
+}
+
+func (ex *exchangeIter) Open() error {
+	if ex.started && !ex.closed {
+		if err := ex.Close(); err != nil {
+			return err
+		}
+	}
+	ws, err := ex.setup()
+	if err != nil {
+		return err
+	}
+	ex.workers = ws
+	ex.stop = make(chan struct{})
+	ex.wg = &sync.WaitGroup{}
+	ex.started, ex.closed = true, false
+	ex.widx, ex.cur, ex.pos = 0, nil, 0
+	ex.batches, ex.waitNanos = 0, 0
+	if ex.ordered {
+		for _, w := range ws {
+			w.out = make(chan []storage.Row, 2)
+			ex.wg.Add(1)
+			go func(w *exchangeWorker) {
+				defer ex.wg.Done()
+				defer close(w.out)
+				w.run(w.out, ex.stop, ex.db.Acc)
+			}(w)
+		}
+		return nil
+	}
+	ex.merged = make(chan []storage.Row, len(ws))
+	ex.wg.Add(len(ws))
+	for _, w := range ws {
+		go func(w *exchangeWorker) {
+			defer ex.wg.Done()
+			w.run(ex.merged, ex.stop, ex.db.Acc)
+		}(w)
+	}
+	go func(wg *sync.WaitGroup, merged chan []storage.Row) {
+		wg.Wait()
+		close(merged)
+	}(ex.wg, ex.merged)
+	return nil
+}
+
+// fetch blocks for the next batch from the workers; nil with no error is
+// end of stream, after which every worker has exited and its error, if
+// any, has been surfaced.
+func (ex *exchangeIter) fetch() ([]storage.Row, error) {
+	if err := ex.db.checkCancel(); err != nil {
+		return nil, err
+	}
+	if ex.ordered {
+		for ex.widx < len(ex.workers) {
+			w := ex.workers[ex.widx]
+			start := time.Now()
+			b, ok := <-w.out
+			ex.waitNanos += time.Since(start).Nanoseconds()
+			if ok {
+				ex.batches++
+				return b, nil
+			}
+			if w.err != nil {
+				return nil, w.err
+			}
+			ex.widx++
+		}
+		return nil, nil
+	}
+	start := time.Now()
+	b, ok := <-ex.merged
+	ex.waitNanos += time.Since(start).Nanoseconds()
+	if !ok {
+		for _, w := range ex.workers {
+			if w.err != nil {
+				return nil, w.err
+			}
+		}
+		return nil, nil
+	}
+	ex.batches++
+	return b, nil
+}
+
+func (ex *exchangeIter) Next() (storage.Row, bool, error) {
+	for ex.pos >= len(ex.cur) {
+		b, err := ex.fetch()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			return nil, false, nil
+		}
+		ex.cur, ex.pos = b, 0
+	}
+	row := ex.cur[ex.pos]
+	ex.pos++
+	return row, true, nil
+}
+
+func (ex *exchangeIter) NextBatch(dst []storage.Row) (int, error) {
+	for ex.pos >= len(ex.cur) {
+		b, err := ex.fetch()
+		if err != nil {
+			return 0, err
+		}
+		if b == nil {
+			return 0, nil
+		}
+		ex.cur, ex.pos = b, 0
+	}
+	n := copy(dst, ex.cur[ex.pos:])
+	ex.pos += n
+	return n, nil
+}
+
+func (ex *exchangeIter) Close() error {
+	if !ex.started || ex.closed {
+		return nil
+	}
+	ex.closed = true
+	close(ex.stop)
+	// Unblock workers parked on a send, then wait them out. Channels close
+	// when their producers exit, so these drains terminate.
+	if ex.ordered {
+		for _, w := range ex.workers {
+			for range w.out {
+			}
+		}
+	} else {
+		for range ex.merged {
+		}
+	}
+	ex.wg.Wait()
+	ex.record()
+	return nil
+}
+
+// record reports the exchange's per-worker tallies to the execution's
+// parallel-stats collector; nil-safe when none is installed.
+func (ex *exchangeIter) record() {
+	if ex.db.Par == nil {
+		return
+	}
+	st := obs.ExchangeStats{
+		Op:              ex.node.Op.String(),
+		Rel:             ex.node.Rel,
+		Kind:            ex.kind,
+		Batches:         ex.batches,
+		GatherWaitNanos: ex.waitNanos,
+		Workers:         make([]obs.Counters, len(ex.workers)),
+	}
+	for i, w := range ex.workers {
+		st.Workers[i] = w.counters()
+	}
+	ex.db.Par.Record(st)
+}
+
+// buildParallelFileScan compiles File-Scan — optionally with the Filter
+// directly above it pushed into the workers — into a partitioned parallel
+// scan: the heap file's pages split into DOP contiguous ranges, one
+// worker per range, merged by an unordered gather (a heap scan delivers
+// no order, so arrival order is free). Page and tuple charges equal the
+// serial scan's exactly; only their distribution across workers differs.
+func (db *DB) buildParallelFileScan(scan, filter *physical.Node, b *bindings.Bindings) (Iterator, Schema, error) {
+	schema, _, err := db.relSchema(scan.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := db.Store.Table(scan.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	var col int
+	var limit float64
+	if filter != nil {
+		col, limit, err = db.predicate(filter.SelAttr, filter.Var, filter.FixedSel, schema, b)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	node := scan
+	if filter != nil {
+		node = filter
+	}
+	dop := db.Parallel
+	ex := &exchangeIter{
+		db: db, node: node, kind: "gather",
+		setup: func() ([]*exchangeWorker, error) {
+			pages := table.NumPages()
+			ws := make([]*exchangeWorker, dop)
+			for i := 0; i < dop; i++ {
+				wdb := db.workerClone()
+				var it Iterator = &fileScanIter{
+					db: wdb, table: table,
+					lo: pages * i / dop, hi: pages * (i + 1) / dop,
+				}
+				if filter != nil {
+					it = &filterIter{db: wdb, child: it, col: col, limit: limit}
+				}
+				ws[i] = &exchangeWorker{id: i, db: wdb, it: it}
+			}
+			return ws, nil
+		},
+	}
+	return ex, schema, nil
+}
+
+// buildParallelBtreeScan compiles B-tree-Scan / Filter-B-tree-Scan into a
+// partitioned parallel index scan: the RID range is drained once (the
+// same key walk the serial scan performs, charged nothing — RIDs are
+// small), split into DOP contiguous chunks, and each worker fetches its
+// chunk at one random I/O per record. The ordered concatenating gather
+// reassembles the chunks in index order, so the exchange delivers exactly
+// the serial scan's order — Merge-Join inputs stay sorted.
+func (db *DB) buildParallelBtreeScan(n *physical.Node, b *bindings.Bindings, filtered bool) (Iterator, Schema, error) {
+	schema, _, err := db.relSchema(n.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := db.Store.Table(n.Rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := db.index(n.Rel, n.Attr)
+	if err != nil {
+		return nil, nil, err
+	}
+	lo, hi := math.Inf(-1), math.Inf(1)
+	exclusive := false
+	if filtered {
+		_, hi, err = db.predicate(n.SelAttr, n.Var, n.FixedSel, schema, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		exclusive = true
+	}
+	dop := db.Parallel
+	ex := &exchangeIter{
+		db: db, node: n, kind: "ordered-gather", ordered: true,
+		setup: func() ([]*exchangeWorker, error) {
+			drain := &btreeScanIter{
+				db: db, table: table, tree: tree,
+				lo: lo, hi: hi, exclusiveHi: exclusive,
+			}
+			if err := drain.Open(); err != nil {
+				return nil, err
+			}
+			rids := drain.rids
+			if rids == nil {
+				rids = []storage.RID{}
+			}
+			ws := make([]*exchangeWorker, dop)
+			for i := 0; i < dop; i++ {
+				wdb := db.workerClone()
+				ws[i] = &exchangeWorker{
+					id: i, db: wdb,
+					it: &btreeScanIter{
+						db: wdb, table: table, tree: tree,
+						preset: rids[len(rids)*i/dop : len(rids)*(i+1)/dop],
+					},
+				}
+			}
+			return ws, nil
+		},
+	}
+	return ex, schema, nil
+}

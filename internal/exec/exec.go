@@ -93,6 +93,17 @@ type DB struct {
 	// costs one pointer check per materialization.
 	Guards MatGuard
 
+	// Parallel, when > 1, is the degree of parallelism: base-relation
+	// scans compile into partitioned exchange operators with Parallel
+	// workers each, and hash joins into the symmetric streaming variant
+	// with Parallel partitions (see exchange.go and symmetric.go). The
+	// zero value compiles the serial operators, byte-identical to a build
+	// without this field.
+	Parallel int
+	// Par, when non-nil, collects per-exchange worker tallies for the
+	// execution's ParallelStats; nil-safe like Obs.
+	Par *obs.ParallelExec
+
 	// polls counts cancellation checks so only every pollEvery-th check
 	// actually inspects the context.
 	polls uint64
@@ -242,16 +253,39 @@ func (db *DB) compile(n *physical.Node, b *bindings.Bindings) (Iterator, Schema,
 	}
 	switch n.Op {
 	case physical.FileScan:
+		if db.Parallel > 1 {
+			return db.buildParallelFileScan(n, nil, b)
+		}
 		return db.buildFileScan(n)
 	case physical.BtreeScan:
+		if db.Parallel > 1 {
+			return db.buildParallelBtreeScan(n, b, false)
+		}
 		return db.buildBtreeScan(n)
 	case physical.FilterBtreeScan:
+		if db.Parallel > 1 {
+			return db.buildParallelBtreeScan(n, b, true)
+		}
 		return db.buildFilterBtreeScan(n, b)
 	case physical.Filter:
+		if db.Parallel > 1 && n.Children[0].Op == physical.FileScan {
+			// Push the selection into the scan partitions: each worker
+			// filters its own pages, so only qualifying rows cross the
+			// exchange.
+			return db.buildParallelFileScan(n.Children[0], n, b)
+		}
 		return db.buildFilter(n, b)
 	case physical.Sort:
 		return db.buildSort(n, b)
 	case physical.HashJoin:
+		// The symmetric streaming join has no single build-side
+		// materialization point, so when re-optimization guards are armed
+		// the serial join runs instead — guard semantics (and their
+		// spool-and-switch remedies) stay exactly as the re-opt layer
+		// expects, parallel or not.
+		if db.Parallel > 1 && db.Guards == nil {
+			return db.buildSymmetricHashJoin(n, b)
+		}
 		return db.buildHashJoin(n, b)
 	case physical.MergeJoin:
 		return db.buildMergeJoin(n, b)

@@ -87,6 +87,12 @@ func (w *leakIter) Next() (storage.Row, bool, error) {
 	return w.inner.Next()
 }
 
+// NextBatch forwards the vectorized path so wrapping does not degrade a
+// batched subtree to row-at-a-time.
+func (w *leakIter) NextBatch(dst []storage.Row) (int, error) {
+	return nextBatch(w.inner, dst)
+}
+
 func (w *leakIter) Close() error {
 	w.mu.Lock()
 	w.closed = true

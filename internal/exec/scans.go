@@ -25,12 +25,25 @@ func (db *DB) buildFileScan(n *physical.Node) (Iterator, Schema, error) {
 type fileScanIter struct {
 	db    *DB
 	table *storage.Table
-	page  int
-	slot  int
+	// lo and hi bound the scanned page range [lo, hi); hi == 0 means the
+	// whole table. Partitioned parallel scans give each worker an explicit
+	// contiguous range, so together the workers read every page exactly
+	// once.
+	lo, hi int
+	page   int
+	slot   int
+}
+
+// limit returns the first page past this scan's range.
+func (it *fileScanIter) limit() int {
+	if it.hi > 0 {
+		return it.hi
+	}
+	return it.table.NumPages()
 }
 
 func (it *fileScanIter) Open() error {
-	it.page, it.slot = 0, 0
+	it.page, it.slot = it.lo, 0
 	return nil
 }
 
@@ -38,7 +51,7 @@ func (it *fileScanIter) Next() (storage.Row, bool, error) {
 	if err := it.db.checkCancel(); err != nil {
 		return nil, false, err
 	}
-	for it.page < it.table.NumPages() {
+	for it.page < it.limit() {
 		row, err := it.table.Get(storage.RID{Page: int32(it.page), Slot: int32(it.slot)})
 		if err != nil {
 			// Page exhausted; advance.
@@ -118,12 +131,22 @@ type btreeScanIter struct {
 	// exclusiveHi makes the upper bound strict ("attr < hi"), the
 	// predicate form bound selectivities translate to.
 	exclusiveHi bool
+	// preset, when non-nil, is a pre-drained RID list this iterator
+	// fetches instead of draining the tree itself: partitioned parallel
+	// B-tree scans drain the range once and hand each worker a contiguous
+	// chunk, preserving the index order across the concatenated workers.
+	preset []storage.RID
 
 	rids []storage.RID
 	pos  int
 }
 
 func (it *btreeScanIter) Open() error {
+	if it.preset != nil {
+		it.rids = it.preset
+		it.pos = 0
+		return nil
+	}
 	it.rids = it.rids[:0]
 	it.pos = 0
 	loKey := int64(math.MinInt64)
@@ -185,6 +208,8 @@ type filterIter struct {
 	child Iterator
 	col   int
 	limit float64
+	// buf is the input vector of the batched fast path (see NextBatch).
+	buf []storage.Row
 }
 
 func (it *filterIter) Open() error { return it.child.Open() }

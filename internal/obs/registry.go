@@ -286,21 +286,29 @@ type Registry struct {
 	// carry no ExecResult) are audited against.
 	ReoptTempsCreated  Counter
 	ReoptTempsReleased Counter
+	// ParallelQueries counts executions that ran with DOP > 1;
+	// ParallelExchanges the exchange operators those executions ran.
+	ParallelQueries   Counter
+	ParallelExchanges Counter
 
 	// PoolPages is the governor's grant-pool size; WorstQError the largest
-	// q-error any calibration verdict has reported.
-	PoolPages   Gauge
-	WorstQError Gauge
+	// q-error any calibration verdict has reported; PartitionSkewMax the
+	// worst partition skew any parallel exchange has shown.
+	PoolPages        Gauge
+	WorstQError      Gauge
+	PartitionSkewMax Gauge
 
 	// Latency, QueueWait, and Backoff are nanosecond histograms; PagesRead
 	// and RowsOut count per-query I/O volume and result size; ReplanNanos
-	// tracks the optimizer time mid-query replans spent.
-	Latency     Histogram
-	QueueWait   Histogram
-	Backoff     Histogram
-	PagesRead   Histogram
-	RowsOut     Histogram
-	ReplanNanos Histogram
+	// tracks the optimizer time mid-query replans spent; ExchangeWait the
+	// time parallel gathers spent blocked on worker batches.
+	Latency      Histogram
+	QueueWait    Histogram
+	Backoff      Histogram
+	PagesRead    Histogram
+	RowsOut      Histogram
+	ReplanNanos  Histogram
+	ExchangeWait Histogram
 
 	mu    sync.Mutex
 	ops   map[string]*OpAggregate
@@ -386,6 +394,21 @@ func (r *Registry) RecordReopt(events []ReoptEvent) {
 	}
 }
 
+// RecordParallel folds one parallel execution's summary into the
+// registry: the query and exchange counts, the skew high-water mark, and
+// each exchange's gather-wait sample.
+func (r *Registry) RecordParallel(ps *ParallelStats) {
+	if r == nil || ps == nil || ps.DOP <= 1 {
+		return
+	}
+	r.ParallelQueries.Add(1)
+	r.ParallelExchanges.Add(int64(len(ps.Exchanges)))
+	r.PartitionSkewMax.SetMax(ps.MaxSkew())
+	for _, e := range ps.Exchanges {
+		r.ExchangeWait.Record(e.GatherWaitNanos)
+	}
+}
+
 // RecordWatchdogStall counts one progress-watchdog no-progress trip.
 func (r *Registry) RecordWatchdogStall() {
 	if r == nil {
@@ -449,8 +472,12 @@ type RegistrySnapshot struct {
 	ReoptTempsCreated  int64 `json:"reopt_temps_created,omitempty"`
 	ReoptTempsReleased int64 `json:"reopt_temps_released,omitempty"`
 
-	PoolPages   float64 `json:"pool_pages,omitempty"`
-	WorstQError float64 `json:"worst_q_error,omitempty"`
+	ParallelQueries   int64 `json:"parallel_queries,omitempty"`
+	ParallelExchanges int64 `json:"parallel_exchanges,omitempty"`
+
+	PoolPages        float64 `json:"pool_pages,omitempty"`
+	WorstQError      float64 `json:"worst_q_error,omitempty"`
+	PartitionSkewMax float64 `json:"partition_skew_max,omitempty"`
 
 	LatencyNanos   HistogramSnapshot `json:"latency_ns"`
 	QueueWaitNanos HistogramSnapshot `json:"queue_wait_ns"`
@@ -458,6 +485,7 @@ type RegistrySnapshot struct {
 	PagesRead      HistogramSnapshot `json:"pages_read"`
 	RowsOut        HistogramSnapshot `json:"rows_out"`
 	ReplanNanos    HistogramSnapshot `json:"replan_ns,omitempty"`
+	ExchangeWait   HistogramSnapshot `json:"exchange_wait_ns,omitempty"`
 
 	Operators map[string]OpAggregate `json:"operators,omitempty"`
 	Relations map[string]OpAggregate `json:"relations,omitempty"`
@@ -483,14 +511,18 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 		WatchdogStalls:     r.WatchdogStalls.Load(),
 		ReoptTempsCreated:  r.ReoptTempsCreated.Load(),
 		ReoptTempsReleased: r.ReoptTempsReleased.Load(),
+		ParallelQueries:    r.ParallelQueries.Load(),
+		ParallelExchanges:  r.ParallelExchanges.Load(),
 		PoolPages:          r.PoolPages.Load(),
 		WorstQError:        r.WorstQError.Load(),
+		PartitionSkewMax:   r.PartitionSkewMax.Load(),
 		LatencyNanos:       r.Latency.Snapshot(),
 		QueueWaitNanos:     r.QueueWait.Snapshot(),
 		BackoffNanos:       r.Backoff.Snapshot(),
 		PagesRead:          r.PagesRead.Snapshot(),
 		RowsOut:            r.RowsOut.Snapshot(),
 		ReplanNanos:        r.ReplanNanos.Snapshot(),
+		ExchangeWait:       r.ExchangeWait.Snapshot(),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

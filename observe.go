@@ -81,6 +81,9 @@ func (r *ExecResult) ExplainAnalyze(p Params) string {
 	if r.Reopt != nil {
 		out += obs.RenderReoptEvents(r.Reopt.Events)
 	}
+	for _, line := range obs.RenderParallel(r.Parallel) {
+		out += line + "\n"
+	}
 	return out
 }
 

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dynplan/internal/adaptive"
+	"dynplan/internal/bindings"
 	"dynplan/internal/cost"
 	"dynplan/internal/exec"
 	"dynplan/internal/governor"
@@ -160,6 +161,14 @@ type execState struct {
 	pol RetryPolicy
 	// run is the terminal executor (runStatic or runAdaptive).
 	run func(ctx context.Context, st *execState) (*ExecResult, error)
+	// par enables intra-query parallelism in the Run stage; maxDOP caps
+	// the worker count the grant may fund (0: the default cap). The DOP
+	// decision lives inside runStatic rather than in a stage of its own:
+	// it is part of resolving the plan against the grant, exactly like
+	// choose-plan resolution, and keeping it there leaves non-parallel
+	// dispatch byte-identical.
+	par    bool
+	maxDOP int
 
 	// gov and adm are the Admit stage's governor snapshot and claimed
 	// slot; ticket is the Grant stage's memory claim.
@@ -774,6 +783,22 @@ func runStatic(ctx context.Context, st *execState) (*ExecResult, error) {
 		e.Temps = st.rc.Temps()
 		e.Guards = st.rc.Guard(physical.NewModel(db.sys.params), st.rc.CorrectBindings(ib).Env(), st.root, acc)
 	}
+	var pe *obs.ParallelExec
+	var dop, maxDOP int
+	var parReason string
+	if st.par {
+		// The DOP decision is start-up-time processing in miniature: the
+		// grant funds the worker count, and the cost model must price the
+		// parallel plan below serial before any goroutine spawns — degree
+		// of parallelism as a least-expected-cost alternative, exactly how
+		// low-memory choose-plan branches are selected.
+		dop, maxDOP, parReason = chooseDOP(db, st.root, ib, st.mem, st.maxDOP)
+		pe = &obs.ParallelExec{}
+		if dop > 1 {
+			e.Parallel = dop
+			e.Par = pe
+		}
+	}
 	absorbedBefore := inj.Stats().Absorbed
 	rows, schema, err := e.RunContext(ctx, st.root, ib)
 	if reg.Enabled() {
@@ -794,6 +819,12 @@ func runStatic(ctx context.Context, st *execState) (*ExecResult, error) {
 	out.Rows = make([][]int64, len(rows))
 	for i, r := range rows {
 		out.Rows[i] = r
+	}
+	if pe != nil {
+		out.Parallel = pe.Stats(dop, maxDOP, st.mem, st.mem/float64(max(dop, 1)), parReason)
+		if reg.Enabled() {
+			reg.RecordParallel(out.Parallel)
+		}
 	}
 	if reg.Enabled() {
 		// Annotate the resolved tree with the cost model's predicted
@@ -820,6 +851,44 @@ func runStatic(ctx context.Context, st *execState) (*ExecResult, error) {
 		out.Operators = collector.Tree(st.root)
 	}
 	return out, nil
+}
+
+// The grant funds parallelism: one worker per parallelPartitionPages
+// granted pages, so a degraded grant throttles the worker count down to
+// serial the same way it steers choose-plan onto low-memory branches
+// (§6.2's graceful degradation applied to DOP). parallelMaxDOPDefault
+// caps the count when ExecOptions.MaxDOP is zero.
+const (
+	parallelPartitionPages = 16
+	parallelMaxDOPDefault  = 4
+)
+
+// chooseDOP selects the degree of parallelism for a resolved plan. Two
+// gates must pass: the memory grant must fund at least two workers
+// (reason "grant-limited" otherwise), and the cost model must price the
+// dop-way parallel execution below serial (reason "cost" otherwise) —
+// exchange startup and per-row transfer charges make serial cheaper for
+// tiny inputs. When both pass, the reason is "grant".
+func chooseDOP(db *Database, root *physical.Node, ib *bindings.Bindings, mem float64, maxCap int) (dop, maxDOP int, reason string) {
+	maxDOP = maxCap
+	if maxDOP <= 0 {
+		maxDOP = parallelMaxDOPDefault
+	}
+	dop = int(mem / parallelPartitionPages)
+	if dop > maxDOP {
+		dop = maxDOP
+	}
+	if dop <= 1 {
+		return 1, maxDOP, "grant-limited"
+	}
+	model := physical.NewModel(db.sys.params)
+	env := ib.Env()
+	serial := model.Evaluate(root, env).Cost
+	par := model.ParallelEvaluate(root, env, dop).Cost
+	if (par.Lo+par.Hi)/2 >= (serial.Lo+serial.Hi)/2 {
+		return 1, maxDOP, "cost"
+	}
+	return dop, maxDOP, "grant"
 }
 
 // runAdaptive is the terminal executor for run-time choose-plan decisions

@@ -289,6 +289,9 @@ func TestExecResultFieldUniformity(t *testing.T) {
 		// No façade here enables re-optimization, and with a fresh catalog no
 		// guard would trip anyway; the account must stay uniformly nil.
 		"Reopt": {def: expectZero},
+		// Likewise no façade here passes ExecOptions.Parallel, so the
+		// parallelism account must stay uniformly nil.
+		"Parallel": {def: expectZero},
 	}
 
 	typ := reflect.TypeOf(ExecResult{})
