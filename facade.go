@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 
+	"dynplan/internal/exec"
 	"dynplan/internal/physical"
 )
 
@@ -56,6 +57,34 @@ type ExecOptions struct {
 	// MaxDOP caps the worker count Parallel may choose; 0 selects the
 	// default of 4.
 	MaxDOP int
+	// WorkerRetry bounds the per-worker retry loop each exchange worker
+	// runs its partition under when Parallel is set: a retryable fault
+	// re-runs only that worker's partition, invisibly to the other
+	// workers. Nil selects the defaults (3 attempts, 100µs base backoff);
+	// MaxAttempts 1 disables worker retry, making every worker fault
+	// escalate immediately.
+	WorkerRetry *WorkerRetryPolicy
+	// Degrade parameterizes the graceful-degradation ladder that catches
+	// faults escalating past worker retry: halve the DOP and re-run,
+	// down to serial, before the whole-query remedies fire. Nil enables
+	// the ladder with defaults; Degrade.Disabled turns it off. Only
+	// meaningful with Parallel.
+	Degrade *DegradePolicy
+}
+
+// WorkerRetryPolicy bounds the per-worker retry loop inside exchange
+// operators; see ExecOptions.WorkerRetry.
+type WorkerRetryPolicy = exec.WorkerRetryPolicy
+
+// DegradePolicy parameterizes the degradation ladder above parallel
+// execution; see ExecOptions.Degrade.
+type DegradePolicy struct {
+	// Disabled turns the ladder off: faults that escape worker retry
+	// escalate straight to the whole-query remedies at full width.
+	Disabled bool
+	// MinDOP floors the descent (0 or 1: the ladder may fall all the way
+	// to serial execution).
+	MinDOP int
 }
 
 // Exec is the single execution entry point behind every Execute* façade:
@@ -64,7 +93,8 @@ type ExecOptions struct {
 // Incompatible combinations (a Resilient non-module, an Adaptive
 // non-plan) fail fast with an error wrapping ErrPipeline.
 func (db *Database) Exec(ctx context.Context, q any, b Bindings, o ExecOptions) (*ExecResult, error) {
-	st := &execState{db: db, b: b, mem: b.MemoryPages, pol: o.Policy, run: runStatic, par: o.Parallel, maxDOP: o.MaxDOP}
+	st := &execState{db: db, b: b, mem: b.MemoryPages, pol: o.Policy, run: runStatic,
+		par: o.Parallel, maxDOP: o.MaxDOP, wpol: o.WorkerRetry, deg: o.Degrade}
 	adaptiveTarget := false
 	switch t := q.(type) {
 	case *Module:

@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"context"
+	"fmt"
+	"hash/fnv"
 	"math"
 	"sync"
 	"time"
@@ -8,6 +11,7 @@ import (
 	"dynplan/internal/bindings"
 	"dynplan/internal/obs"
 	"dynplan/internal/physical"
+	"dynplan/internal/qerr"
 	"dynplan/internal/storage"
 )
 
@@ -45,8 +49,75 @@ func (db *DB) workerClone() *DB {
 		Faults:   db.Faults,
 		Wrap:     db.Wrap, // the leak checker is concurrency-safe
 		Parallel: db.Parallel,
+		Retry:    db.Retry,
 		Par:      db.Par,
 	}
+}
+
+// WorkerRetryPolicy bounds the per-worker retry loop: each exchange worker
+// is its own fault domain, so a retryable fault (per qerr.Retryable)
+// re-runs only that worker's partition instead of aborting the whole
+// query. Retries pause under capped exponential backoff with
+// deterministically seeded jitter — no global rand, so chaos runs and
+// bench records reproduce byte-identically. The zero value (and a nil
+// pointer) selects the defaults.
+type WorkerRetryPolicy struct {
+	// MaxAttempts is the total partition executions tried per worker,
+	// including the first (default 3). 1 disables worker retry: the first
+	// fault escalates out of the exchange.
+	MaxAttempts int
+	// Backoff is the base pause before the first retry, doubling per
+	// further retry up to MaxBackoff; zero retries immediately (default
+	// 100µs).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 32×Backoff).
+	MaxBackoff time.Duration
+	// JitterSeed seeds the deterministic per-worker jitter (default 1).
+	JitterSeed int64
+}
+
+func (p *WorkerRetryPolicy) withDefaults() WorkerRetryPolicy {
+	var out WorkerRetryPolicy
+	if p != nil {
+		out = *p
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 3
+	}
+	if p == nil || (out.Backoff == 0 && out.MaxBackoff == 0) {
+		out.Backoff = 100 * time.Microsecond
+	}
+	if out.MaxBackoff <= 0 {
+		out.MaxBackoff = 32 * out.Backoff
+	}
+	if out.JitterSeed == 0 {
+		out.JitterSeed = 1
+	}
+	return out
+}
+
+// delay computes the pause before a worker's retry-th retry: the base
+// doubled per retry, capped, then equal-jittered to half its nominal
+// value plus a hash-derived remainder of (seed, worker, retry) — the same
+// scheme the whole-query retry stage uses, but with no rand.Rand state to
+// share across goroutines.
+func (p WorkerRetryPolicy) delay(worker, retry int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	shift := retry - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := p.Backoff << uint(shift)
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	half := int64(d / 2)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d", p.JitterSeed, worker, retry)
+	u := float64(h.Sum64()>>11) / float64(1<<53)
+	return time.Duration(half + int64(u*float64(half+1)))
 }
 
 // foldAccount adds src's charges since last into dst and returns the new
@@ -72,7 +143,9 @@ func foldAccount(dst, src *storage.Accountant, last storage.AccountSnapshot) sto
 
 // exchangeWorker is one partitioned producer: a private DB clone, the
 // partition's iterator, and the tallies the exchange reports when it
-// closes.
+// closes. Each worker is its own fault domain — a retryable fault re-runs
+// only this partition (see run), so one worker's transient page fault
+// never aborts its siblings or the whole query.
 type exchangeWorker struct {
 	id  int
 	db  *DB
@@ -80,52 +153,157 @@ type exchangeWorker struct {
 	out chan []storage.Row // ordered mode: this worker's own stream
 
 	err  error
-	rows int64
+	rows int64 // rows delivered downstream, across attempts
+	// retries and backoffs are the worker's recovery account: attempts
+	// beyond the first, and the nominal (pre-sleep, deterministic) pause
+	// before each.
+	retries  int64
+	backoffs []int64
+	// folded accumulates exactly the account deltas this worker folded
+	// into the shared accountant — the per-worker tally the exchange
+	// reports. It diverges from the private accountant only across
+	// retries, where the failed attempt's un-folded charges are discarded.
+	folded storage.AccountSnapshot
+	// torn reports the run ended because stop closed mid-stream: the rows
+	// delivered are a prefix, and the tallies must not be cross-checked
+	// against a complete partition.
+	torn bool
 }
 
-// run produces the worker's partition: open, drain in batches, fold the
-// I/O account upward, send each batch to out, close. It exits on end of
+// fold moves the private accountant's charges since last into the shared
+// account and the worker's folded tally, returning the new snapshot.
+func (w *exchangeWorker) fold(dst *storage.Accountant, last storage.AccountSnapshot) storage.AccountSnapshot {
+	cur := w.db.Acc.Snapshot()
+	d := cur.Sub(last)
+	if d.SeqPageReads != 0 {
+		dst.ReadSeq(d.SeqPageReads)
+	}
+	if d.RandPageReads != 0 {
+		dst.ReadRand(d.RandPageReads)
+	}
+	if d.PageWrites != 0 {
+		dst.Write(d.PageWrites)
+	}
+	if d.TupleOps != 0 {
+		dst.Tuples(d.TupleOps)
+	}
+	w.folded.SeqPageReads += d.SeqPageReads
+	w.folded.RandPageReads += d.RandPageReads
+	w.folded.PageWrites += d.PageWrites
+	w.folded.TupleOps += d.TupleOps
+	return cur
+}
+
+// run produces the worker's partition under bounded per-worker retry:
+// open, drain in batches, fold the I/O account upward batch by batch,
+// send each batch to out. A retryable fault (per qerr.Retryable) discards
+// the failed attempt's un-folded charges, backs off (capped exponential,
+// deterministic jitter, interruptible by stop and the context), re-opens
+// the partition iterator, skips the rows already delivered downstream
+// with every skip charge suppressed, and resumes — so the folded totals
+// stay exactly the fault-free serial partition's, pages charged once
+// each, however many attempts it took. Permanent faults, cancellation,
+// and exhausted attempts escalate through w.err. It exits on end of
 // stream, on error, or when stop closes (the gather tore down early).
 func (w *exchangeWorker) run(out chan<- []storage.Row, stop <-chan struct{}, fold *storage.Accountant) {
-	var last storage.AccountSnapshot
+	pol := w.db.Retry.withDefaults()
+	for attempt := 1; ; attempt++ {
+		err := w.attempt(out, stop, fold)
+		if err == nil || w.torn || !qerr.Retryable(err) || attempt >= pol.MaxAttempts {
+			w.err = err
+			return
+		}
+		// Discard the failed attempt's un-folded charges — including the
+		// injected fault's simulated latency — by starting the retry on a
+		// fresh private accountant: only charges of successfully delivered
+		// batches may reach the shared account, which is what keeps the
+		// parallel books identical to the fault-free serial run.
+		w.db.Acc = &storage.Accountant{}
+		w.retries++
+		d := pol.delay(w.id, int(w.retries))
+		w.backoffs = append(w.backoffs, int64(d))
+		if d > 0 {
+			t := time.NewTimer(d)
+			var done <-chan struct{}
+			if w.db.Ctx != nil {
+				done = w.db.Ctx.Done()
+			}
+			select {
+			case <-t.C:
+			case <-stop:
+				t.Stop()
+				w.torn = true
+				return
+			case <-done:
+				t.Stop()
+				w.err = qerr.FromContext(context.Cause(w.db.Ctx))
+				return
+			}
+		}
+	}
+}
+
+// attempt runs the partition once, resuming past the rows earlier
+// attempts already delivered.
+func (w *exchangeWorker) attempt(out chan<- []storage.Row, stop <-chan struct{}, fold *storage.Accountant) error {
+	last := w.db.Acc.Snapshot()
 	err := func() error {
 		if err := w.it.Open(); err != nil {
 			return err
 		}
+		// Resume: re-read the partition up to the rows already delivered
+		// downstream without folding anything — the first attempt already
+		// charged them. The partition iterators are deterministic (fixed
+		// page range, preset RID chunk), so row sent+1 of the re-run is
+		// exactly where the failed attempt left off.
+		for skipped := int64(0); skipped < w.rows; skipped++ {
+			_, ok, err := w.it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("exec: partition shrank on worker retry (%d rows, expected ≥ %d)", skipped, w.rows)
+			}
+		}
+		last = w.db.Acc.Snapshot()
 		for {
 			buf := make([]storage.Row, batchRows)
 			n, nerr := nextBatch(w.it, buf)
-			last = foldAccount(fold, w.db.Acc, last)
 			if nerr != nil {
+				// Do not fold: the failed vector's charges (and the fault's
+				// injected latency) belong to no delivered row.
 				return nerr
 			}
+			last = w.fold(fold, last)
 			if n == 0 {
 				return nil
 			}
-			w.rows += int64(n)
 			select {
 			case out <- buf[:n]:
+				w.rows += int64(n)
 			case <-stop:
+				w.torn = true
 				return nil
 			}
 		}
 	}()
-	if cerr := w.it.Close(); err == nil {
+	if cerr := w.it.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
-	foldAccount(fold, w.db.Acc, last)
-	w.err = err
+	if err == nil && !w.torn {
+		w.fold(fold, last)
+	}
+	return err
 }
 
-// counters converts the worker's final account into a per-worker tally.
+// counters converts the worker's folded account into a per-worker tally.
 func (w *exchangeWorker) counters() obs.Counters {
-	s := w.db.Acc.Snapshot()
 	return obs.Counters{
 		Rows:          w.rows,
-		SeqPageReads:  s.SeqPageReads,
-		RandPageReads: s.RandPageReads,
-		PageWrites:    s.PageWrites,
-		TupleOps:      s.TupleOps,
+		SeqPageReads:  w.folded.SeqPageReads,
+		RandPageReads: w.folded.RandPageReads,
+		PageWrites:    w.folded.PageWrites,
+		TupleOps:      w.folded.TupleOps,
 	}
 }
 
@@ -311,6 +489,8 @@ func (ex *exchangeIter) record() {
 	}
 	for i, w := range ex.workers {
 		st.Workers[i] = w.counters()
+		st.WorkerRetries += w.retries
+		st.RetryBackoffNanos = append(st.RetryBackoffNanos, w.backoffs...)
 	}
 	ex.db.Par.Record(st)
 }

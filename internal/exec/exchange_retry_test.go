@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWorkerRetryPolicyDefaults(t *testing.T) {
+	for _, p := range []*WorkerRetryPolicy{nil, {}} {
+		d := p.withDefaults()
+		if d.MaxAttempts != 3 {
+			t.Errorf("%+v: MaxAttempts = %d, want 3", p, d.MaxAttempts)
+		}
+		if d.Backoff != 100*time.Microsecond {
+			t.Errorf("%+v: Backoff = %v, want 100µs", p, d.Backoff)
+		}
+		if d.MaxBackoff != 32*d.Backoff {
+			t.Errorf("%+v: MaxBackoff = %v, want 32×Backoff", p, d.MaxBackoff)
+		}
+		if d.JitterSeed != 1 {
+			t.Errorf("%+v: JitterSeed = %d, want 1", p, d.JitterSeed)
+		}
+	}
+	// An explicit base keeps its 32× cap; an explicit cap keeps its base.
+	d := (&WorkerRetryPolicy{Backoff: time.Millisecond}).withDefaults()
+	if d.Backoff != time.Millisecond || d.MaxBackoff != 32*time.Millisecond {
+		t.Errorf("explicit base: %+v", d)
+	}
+	// MaxBackoff set alone means "immediate retries were not intended":
+	// the base defaults, the cap stands.
+	d = (&WorkerRetryPolicy{MaxBackoff: time.Second}).withDefaults()
+	if d.Backoff != 0 || d.MaxBackoff != time.Second {
+		t.Errorf("explicit cap only: %+v", d)
+	}
+	// MaxAttempts 1 survives defaulting — it is the documented off switch.
+	if d := (&WorkerRetryPolicy{MaxAttempts: 1}).withDefaults(); d.MaxAttempts != 1 {
+		t.Errorf("MaxAttempts 1 defaulted away to %d", d.MaxAttempts)
+	}
+}
+
+func TestWorkerRetryDelay(t *testing.T) {
+	p := (&WorkerRetryPolicy{Backoff: 100 * time.Microsecond, JitterSeed: 42}).withDefaults()
+	// Deterministic: the same (worker, retry) always pauses identically.
+	for worker := 0; worker < 4; worker++ {
+		for retry := 1; retry <= 8; retry++ {
+			a, b := p.delay(worker, retry), p.delay(worker, retry)
+			if a != b {
+				t.Fatalf("delay(%d, %d) unstable: %v vs %v", worker, retry, a, b)
+			}
+			// Equal jitter keeps the pause within [nominal/2, nominal].
+			nominal := p.Backoff << uint(retry-1)
+			if nominal > p.MaxBackoff {
+				nominal = p.MaxBackoff
+			}
+			if a < nominal/2 || a > nominal {
+				t.Errorf("delay(%d, %d) = %v outside [%v, %v]", worker, retry, a, nominal/2, nominal)
+			}
+		}
+	}
+	// Workers de-synchronize: with jitter over (seed, worker, retry), at
+	// least two of the first four workers pause differently on retry 1.
+	distinct := map[time.Duration]bool{}
+	for worker := 0; worker < 4; worker++ {
+		distinct[p.delay(worker, 1)] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("all workers drew the identical first backoff; jitter is not per-worker")
+	}
+	// The exponent caps: a huge retry index must not overflow the shift.
+	if d := p.delay(0, 1000); d <= 0 || d > p.MaxBackoff {
+		t.Errorf("delay at retry 1000 = %v, want within (0, %v]", d, p.MaxBackoff)
+	}
+	// Zero backoff means immediate retry regardless of the retry index.
+	zero := WorkerRetryPolicy{MaxAttempts: 3, JitterSeed: 1}
+	if d := zero.delay(1, 3); d != 0 {
+		t.Errorf("zero-backoff policy paused %v", d)
+	}
+}

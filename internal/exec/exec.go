@@ -100,6 +100,11 @@ type DB struct {
 	// zero value compiles the serial operators, byte-identical to a build
 	// without this field.
 	Parallel int
+	// Retry bounds the per-worker retry loop each exchange worker runs its
+	// partition under: a retryable fault re-runs only that partition (see
+	// WorkerRetryPolicy). Nil selects the defaults; it only applies when
+	// Parallel > 1.
+	Retry *WorkerRetryPolicy
 	// Par, when non-nil, collects per-exchange worker tallies for the
 	// execution's ParallelStats; nil-safe like Obs.
 	Par *obs.ParallelExec

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DegradeEvent is one rung of the graceful-degradation ladder: a parallel
+// execution escalated past its per-worker retries and the degradation
+// controller stepped the degree of parallelism down instead of failing the
+// query. Events ride the ExecResult and the query-log run record, so the
+// /queries trace and ExplainAnalyze both show how the ladder descended.
+type DegradeEvent struct {
+	// Attempt is the 1-based degraded re-execution this event ordered;
+	// attempt 1 is the first step down from the original DOP.
+	Attempt int `json:"attempt"`
+	// Rung names the ladder step taken: "dop-halve" (the DOP was halved
+	// and the query re-run parallel) or "serial-fallback" (the DOP
+	// reached 1 and the query re-ran serial — the last rung the
+	// controller owns before the whole-query remedies take over).
+	Rung string `json:"rung"`
+	// FromDOP and ToDOP bracket the step: the DOP the failed execution
+	// ran with and the cap the re-execution runs under.
+	FromDOP int `json:"from_dop"`
+	ToDOP   int `json:"to_dop"`
+	// Class is the qerr classification of the escalated fault
+	// ("permanent-io", "transient-io", ...) and Error its message.
+	Class string `json:"class,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// RenderDegrade renders the degradation trace as the DEGRADE lines
+// ExplainAnalyze appends.
+func RenderDegrade(events []DegradeEvent) string {
+	if len(events) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "DEGRADE %s: dop %d -> %d (attempt %d", e.Rung, e.FromDOP, e.ToDOP, e.Attempt)
+		if e.Class != "" {
+			fmt.Fprintf(&b, ", %s", e.Class)
+		}
+		b.WriteByte(')')
+		if e.Error != "" {
+			b.WriteString(" — ")
+			b.WriteString(e.Error)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

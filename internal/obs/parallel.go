@@ -31,6 +31,12 @@ type ExchangeStats struct {
 	// wall-clock field here and is stripped from committed bench records.
 	GatherWaitNanos int64      `json:"gather_wait_ns,omitempty"`
 	Workers         []Counters `json:"workers"`
+	// WorkerRetries counts partition re-runs the exchange's workers
+	// absorbed (per-worker fault-domain retries); RetryBackoffNanos lists
+	// the nominal pause before each — computed deterministically from the
+	// retry policy's seed, not measured, so records stay byte-identical.
+	WorkerRetries     int64   `json:"worker_retries,omitempty"`
+	RetryBackoffNanos []int64 `json:"retry_backoff_ns,omitempty"`
 }
 
 // Rows returns the total rows the exchange's workers produced.
@@ -109,11 +115,15 @@ func (p *ParallelExec) Stats(dop, maxDOP int, grant, partPages float64, reason s
 	copy(ex, p.exchanges)
 	p.mu.Unlock()
 	sort.SliceStable(ex, func(i, j int) bool { return ex[i].key() < ex[j].key() })
-	return &ParallelStats{
+	st := &ParallelStats{
 		DOP: dop, MaxDOP: maxDOP,
 		GrantPages: grant, PartitionPages: partPages,
 		Reason: reason, Exchanges: ex,
 	}
+	for _, e := range ex {
+		st.WorkerRetries += e.WorkerRetries
+	}
+	return st
 }
 
 // ParallelStats is the parallel-execution section of an ExecResult: the
@@ -129,10 +139,15 @@ type ParallelStats struct {
 	GrantPages     float64 `json:"grant_pages"`
 	PartitionPages float64 `json:"partition_pages,omitempty"`
 	// Reason records the selection: "grant" (the grant funded DOP
-	// workers), "grant-limited" (the grant only funded one), or
-	// "cost" (the cost model priced the parallel alternative higher).
+	// workers), "grant-limited" (the grant only funded one), "cost" (the
+	// cost model priced the parallel alternative higher), or "degraded"
+	// (the graceful-degradation ladder capped the DOP after a fault).
 	Reason    string          `json:"reason,omitempty"`
 	Exchanges []ExchangeStats `json:"exchanges,omitempty"`
+	// WorkerRetries is the total partition re-runs the execution's
+	// exchange workers absorbed without escalating — the per-worker
+	// fault-domain account; 0 means every partition ran clean first try.
+	WorkerRetries int64 `json:"worker_retries,omitempty"`
 }
 
 // MaxSkew returns the worst partition skew across the exchanges.
@@ -182,8 +197,12 @@ func RenderParallel(s *ParallelStats) []string {
 	if s == nil {
 		return nil
 	}
-	lines := []string{fmt.Sprintf("PARALLEL dop=%d max-dop=%d grant=%.0f pages (reason: %s)",
-		s.DOP, s.MaxDOP, s.GrantPages, s.Reason)}
+	head := fmt.Sprintf("PARALLEL dop=%d max-dop=%d grant=%.0f pages (reason: %s)",
+		s.DOP, s.MaxDOP, s.GrantPages, s.Reason)
+	if s.WorkerRetries > 0 {
+		head += fmt.Sprintf(" worker-retries=%d", s.WorkerRetries)
+	}
+	lines := []string{head}
 	for _, e := range s.Exchanges {
 		rows := make([]string, len(e.Workers))
 		for i, w := range e.Workers {
@@ -193,8 +212,12 @@ func RenderParallel(s *ParallelStats) []string {
 		if e.Rel != "" {
 			target += "(" + e.Rel + ")"
 		}
-		lines = append(lines, fmt.Sprintf("  exchange %s %s: workers=%d rows=[%s] skew=%.2f batches=%d",
-			e.Kind, target, len(e.Workers), strings.Join(rows, " "), e.Skew(), e.Batches))
+		line := fmt.Sprintf("  exchange %s %s: workers=%d rows=[%s] skew=%.2f batches=%d",
+			e.Kind, target, len(e.Workers), strings.Join(rows, " "), e.Skew(), e.Batches)
+		if e.WorkerRetries > 0 {
+			line += fmt.Sprintf(" worker-retries=%d", e.WorkerRetries)
+		}
+		lines = append(lines, line)
 	}
 	return lines
 }

@@ -290,6 +290,14 @@ type Registry struct {
 	// ParallelExchanges the exchange operators those executions ran.
 	ParallelQueries   Counter
 	ParallelExchanges Counter
+	// WorkerRetries counts partition re-runs exchange workers absorbed
+	// inside their own fault domain; DopDegrades and SerialFallbacks count
+	// the degradation ladder's rungs — DOP halvings and drops to serial.
+	// Recorded at decision time, so ladders that ultimately fail still
+	// show their descent.
+	WorkerRetries   Counter
+	DopDegrades     Counter
+	SerialFallbacks Counter
 
 	// PoolPages is the governor's grant-pool size; WorstQError the largest
 	// q-error any calibration verdict has reported; PartitionSkewMax the
@@ -301,14 +309,17 @@ type Registry struct {
 	// Latency, QueueWait, and Backoff are nanosecond histograms; PagesRead
 	// and RowsOut count per-query I/O volume and result size; ReplanNanos
 	// tracks the optimizer time mid-query replans spent; ExchangeWait the
-	// time parallel gathers spent blocked on worker batches.
-	Latency      Histogram
-	QueueWait    Histogram
-	Backoff      Histogram
-	PagesRead    Histogram
-	RowsOut      Histogram
-	ReplanNanos  Histogram
-	ExchangeWait Histogram
+	// time parallel gathers spent blocked on worker batches;
+	// WorkerRetryBackoff the nominal pause before each worker-retry
+	// attempt (deterministic, from the retry policy — not measured).
+	Latency            Histogram
+	QueueWait          Histogram
+	Backoff            Histogram
+	PagesRead          Histogram
+	RowsOut            Histogram
+	ReplanNanos        Histogram
+	ExchangeWait       Histogram
+	WorkerRetryBackoff Histogram
 
 	mu    sync.Mutex
 	ops   map[string]*OpAggregate
@@ -404,8 +415,27 @@ func (r *Registry) RecordParallel(ps *ParallelStats) {
 	r.ParallelQueries.Add(1)
 	r.ParallelExchanges.Add(int64(len(ps.Exchanges)))
 	r.PartitionSkewMax.SetMax(ps.MaxSkew())
+	r.WorkerRetries.Add(ps.WorkerRetries)
 	for _, e := range ps.Exchanges {
 		r.ExchangeWait.Record(e.GatherWaitNanos)
+		for _, ns := range e.RetryBackoffNanos {
+			r.WorkerRetryBackoff.Record(ns)
+		}
+	}
+}
+
+// RecordDegrade counts one degradation-ladder step at decision time:
+// "dop-halve" rungs land in DopDegrades, "serial-fallback" in
+// SerialFallbacks.
+func (r *Registry) RecordDegrade(rung string) {
+	if r == nil {
+		return
+	}
+	switch rung {
+	case "dop-halve":
+		r.DopDegrades.Add(1)
+	case "serial-fallback":
+		r.SerialFallbacks.Add(1)
 	}
 }
 
@@ -474,18 +504,22 @@ type RegistrySnapshot struct {
 
 	ParallelQueries   int64 `json:"parallel_queries,omitempty"`
 	ParallelExchanges int64 `json:"parallel_exchanges,omitempty"`
+	WorkerRetries     int64 `json:"worker_retries,omitempty"`
+	DopDegrades       int64 `json:"dop_degrades,omitempty"`
+	SerialFallbacks   int64 `json:"serial_fallbacks,omitempty"`
 
 	PoolPages        float64 `json:"pool_pages,omitempty"`
 	WorstQError      float64 `json:"worst_q_error,omitempty"`
 	PartitionSkewMax float64 `json:"partition_skew_max,omitempty"`
 
-	LatencyNanos   HistogramSnapshot `json:"latency_ns"`
-	QueueWaitNanos HistogramSnapshot `json:"queue_wait_ns"`
-	BackoffNanos   HistogramSnapshot `json:"backoff_ns"`
-	PagesRead      HistogramSnapshot `json:"pages_read"`
-	RowsOut        HistogramSnapshot `json:"rows_out"`
-	ReplanNanos    HistogramSnapshot `json:"replan_ns,omitempty"`
-	ExchangeWait   HistogramSnapshot `json:"exchange_wait_ns,omitempty"`
+	LatencyNanos       HistogramSnapshot `json:"latency_ns"`
+	QueueWaitNanos     HistogramSnapshot `json:"queue_wait_ns"`
+	BackoffNanos       HistogramSnapshot `json:"backoff_ns"`
+	PagesRead          HistogramSnapshot `json:"pages_read"`
+	RowsOut            HistogramSnapshot `json:"rows_out"`
+	ReplanNanos        HistogramSnapshot `json:"replan_ns,omitempty"`
+	ExchangeWait       HistogramSnapshot `json:"exchange_wait_ns,omitempty"`
+	WorkerRetryBackoff HistogramSnapshot `json:"worker_retry_backoff_ns,omitempty"`
 
 	Operators map[string]OpAggregate `json:"operators,omitempty"`
 	Relations map[string]OpAggregate `json:"relations,omitempty"`
@@ -513,6 +547,9 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 		ReoptTempsReleased: r.ReoptTempsReleased.Load(),
 		ParallelQueries:    r.ParallelQueries.Load(),
 		ParallelExchanges:  r.ParallelExchanges.Load(),
+		WorkerRetries:      r.WorkerRetries.Load(),
+		DopDegrades:        r.DopDegrades.Load(),
+		SerialFallbacks:    r.SerialFallbacks.Load(),
 		PoolPages:          r.PoolPages.Load(),
 		WorstQError:        r.WorstQError.Load(),
 		PartitionSkewMax:   r.PartitionSkewMax.Load(),
@@ -523,6 +560,7 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 		RowsOut:            r.RowsOut.Snapshot(),
 		ReplanNanos:        r.ReplanNanos.Snapshot(),
 		ExchangeWait:       r.ExchangeWait.Snapshot(),
+		WorkerRetryBackoff: r.WorkerRetryBackoff.Snapshot(),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -81,6 +81,7 @@ func (r *ExecResult) ExplainAnalyze(p Params) string {
 	if r.Reopt != nil {
 		out += obs.RenderReoptEvents(r.Reopt.Events)
 	}
+	out += obs.RenderDegrade(r.Degrade)
 	for _, line := range obs.RenderParallel(r.Parallel) {
 		out += line + "\n"
 	}
@@ -135,6 +136,13 @@ func (r *ExecResult) RunRecordFor(name, query string, p Params) *RunRecord {
 	if r.Reopt != nil {
 		rec.Reopt = r.Reopt.Events
 		rec.Metrics["reopt-attempts"] = float64(r.Reopt.Attempts)
+	}
+	if len(r.Degrade) > 0 {
+		rec.Degrade = r.Degrade
+		rec.Metrics["degrade-steps"] = float64(len(r.Degrade))
+	}
+	if r.Parallel != nil && r.Parallel.WorkerRetries > 0 {
+		rec.Metrics["worker-retries"] = float64(r.Parallel.WorkerRetries)
 	}
 	return rec
 }

@@ -13,7 +13,7 @@ package dynplan
 // the innermost stage runs the resolved plan. Stacks are compiled once
 // per Database (OpenDatabase) and validated against the canonical order
 //
-//	Record → Admit → Grant → Breaker → Retry → Reopt → Activate → Run
+//	Record → Admit → Grant → Breaker → Retry → Degrade → Reopt → Activate → Run
 //
 // Record is always the single outermost stage, which is what makes
 // exactly-one-recording per query structural: there is no inner layer
@@ -31,6 +31,7 @@ import (
 	"dynplan/internal/adaptive"
 	"dynplan/internal/bindings"
 	"dynplan/internal/cost"
+	"dynplan/internal/degrade"
 	"dynplan/internal/exec"
 	"dynplan/internal/governor"
 	"dynplan/internal/obs"
@@ -65,6 +66,15 @@ const (
 	// downgrade memory or exclude picked branches, back off, re-enter the
 	// Activate stage.
 	stageRetry
+	// stageDegrade is the graceful-degradation ladder for parallel
+	// execution: when a fault escalates past the per-worker retries inside
+	// the exchange operators, it caps the degree of parallelism (halving
+	// toward serial) and re-runs, instead of letting the whole-query
+	// remedies fire at full width. It sits below Retry — each whole-query
+	// attempt gets a fresh ladder — and above Reopt/Activate so a degraded
+	// re-run re-resolves the plan under the narrowed DOP. Pass-through for
+	// serial executions.
+	stageDegrade
 	// stageReopt is mid-query re-optimization: it arms cardinality guards
 	// and the progress watchdog over each execution attempt, and remedies
 	// guard violations by switching to a surviving choose-plan alternative,
@@ -90,6 +100,7 @@ var stageNames = map[stageKind]string{
 	stageGrant:    "Grant",
 	stageBreaker:  "Breaker",
 	stageRetry:    "Retry",
+	stageDegrade:  "Degrade",
 	stageReopt:    "Reopt",
 	stageActivate: "Activate",
 	stageRun:      "Run",
@@ -169,6 +180,16 @@ type execState struct {
 	// dispatch byte-identical.
 	par    bool
 	maxDOP int
+	// wpol bounds the per-worker retry loop each exchange worker runs its
+	// partition under (nil: the exec defaults); deg parameterizes the
+	// degradation ladder above the Run stage.
+	wpol *WorkerRetryPolicy
+	deg  *DegradePolicy
+	// degCap is the DOP ceiling the degradation ladder has imposed (0:
+	// none); lastDOP is the DOP the most recent execution actually ran
+	// with — the rung the ladder steps down from.
+	degCap  int
+	lastDOP int
 
 	// gov and adm are the Admit stage's governor snapshot and claimed
 	// slot; ticket is the Grant stage's memory claim.
@@ -253,7 +274,7 @@ func compilePipeline(kinds ...stageKind) (*pipeline, error) {
 		seen[k] = true
 		if i > 0 && kinds[i-1] >= k {
 			return bad(fmt.Sprintf("%v cannot follow %v (canonical order: %s)",
-				k, kinds[i-1], formatStack([]stageKind{stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageReopt, stageActivate, stageRun})))
+				k, kinds[i-1], formatStack([]stageKind{stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageDegrade, stageReopt, stageActivate, stageRun})))
 		}
 	}
 	if kinds[0] != stageRecord {
@@ -321,6 +342,8 @@ func stageOf(k stageKind) stageFunc {
 		return breakerStage
 	case stageRetry:
 		return retryStage
+	case stageDegrade:
+		return degradeStage
 	case stageReopt:
 		return reoptStage
 	case stageActivate:
@@ -364,20 +387,24 @@ type pipelines struct {
 }
 
 func newPipelines() *pipelines {
+	// Every stack carries the Degrade stage: it is a pass-through branch
+	// for serial executions, and parallelism is an ExecOptions bit rather
+	// than a stack choice, so the ladder must be present wherever a
+	// parallel execution might run.
 	return &pipelines{
-		plain:            mustPipeline(stageRecord, stageRun),
-		governedPlain:    mustPipeline(stageRecord, stageAdmit, stageGrant, stageRun),
-		activate:         mustPipeline(stageRecord, stageActivate, stageRun),
-		governedActivate: mustPipeline(stageRecord, stageAdmit, stageGrant, stageActivate, stageRun),
-		resilient:        mustPipeline(stageRecord, stageBreaker, stageRetry, stageActivate, stageRun),
-		governed:         mustPipeline(stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageActivate, stageRun),
+		plain:            mustPipeline(stageRecord, stageDegrade, stageRun),
+		governedPlain:    mustPipeline(stageRecord, stageAdmit, stageGrant, stageDegrade, stageRun),
+		activate:         mustPipeline(stageRecord, stageDegrade, stageActivate, stageRun),
+		governedActivate: mustPipeline(stageRecord, stageAdmit, stageGrant, stageDegrade, stageActivate, stageRun),
+		resilient:        mustPipeline(stageRecord, stageBreaker, stageRetry, stageDegrade, stageActivate, stageRun),
+		governed:         mustPipeline(stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageDegrade, stageActivate, stageRun),
 
-		plainReopt:            mustPipeline(stageRecord, stageReopt, stageRun),
-		governedPlainReopt:    mustPipeline(stageRecord, stageAdmit, stageGrant, stageReopt, stageRun),
-		activateReopt:         mustPipeline(stageRecord, stageReopt, stageActivate, stageRun),
-		governedActivateReopt: mustPipeline(stageRecord, stageAdmit, stageGrant, stageReopt, stageActivate, stageRun),
-		resilientReopt:        mustPipeline(stageRecord, stageBreaker, stageRetry, stageReopt, stageActivate, stageRun),
-		governedReopt:         mustPipeline(stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageReopt, stageActivate, stageRun),
+		plainReopt:            mustPipeline(stageRecord, stageDegrade, stageReopt, stageRun),
+		governedPlainReopt:    mustPipeline(stageRecord, stageAdmit, stageGrant, stageDegrade, stageReopt, stageRun),
+		activateReopt:         mustPipeline(stageRecord, stageDegrade, stageReopt, stageActivate, stageRun),
+		governedActivateReopt: mustPipeline(stageRecord, stageAdmit, stageGrant, stageDegrade, stageReopt, stageActivate, stageRun),
+		resilientReopt:        mustPipeline(stageRecord, stageBreaker, stageRetry, stageDegrade, stageReopt, stageActivate, stageRun),
+		governedReopt:         mustPipeline(stageRecord, stageAdmit, stageGrant, stageBreaker, stageRetry, stageDegrade, stageReopt, stageActivate, stageRun),
 	}
 }
 
@@ -581,6 +608,57 @@ func retryStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRes
 		if err := sleepBackoff(ctx, d); err != nil {
 			return nil, err
 		}
+	}
+}
+
+// degradeStage is the graceful-degradation ladder (ISSUE 8): parallel
+// execution's answer to the paper's premise that a plan must adapt when
+// run-time conditions diverge from the ones it was chosen under. A fault
+// that escapes an exchange worker's own bounded retries has already
+// proven the partition un-runnable at the current width; before the
+// whole-query remedies above (memory downgrade, branch switch, full
+// retry) fire, the ladder re-runs the query narrower — halving the DOP
+// until it reaches serial — because a narrower run re-partitions the
+// data, re-reads poisoned pages through healed fault paths, and costs
+// strictly less to lose again.
+//
+// The controller is built fresh per invocation, i.e. per whole-query
+// retry attempt, so a ladder never leaks descent across attempts; the
+// cap it imposes (st.degCap) persists, so later attempts do not climb
+// back to a width that already failed. Faults the ladder cannot remedy
+// (see degrade.Decide) pass through untouched, preserving the Retry
+// stage's classification authority. Serial executions pass through in
+// one branch.
+func degradeStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecResult, error) {
+	if !st.par || (st.deg != nil && st.deg.Disabled) {
+		return next(ctx, st)
+	}
+	pol := degrade.Policy{Registry: st.db.metrics.Load()}
+	if st.deg != nil {
+		pol.MinDOP = st.deg.MinDOP
+	}
+	dc := degrade.NewController(pol)
+	for {
+		res, err := next(ctx, st)
+		if err == nil {
+			if ev := dc.Events(); len(ev) > 0 {
+				res.Degrade = ev
+			}
+			return res, nil
+		}
+		var abort *stageAbort
+		if errors.As(err, &abort) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			// The caller's context ended; nothing narrower can run.
+			return nil, err
+		}
+		cap, ok := dc.Decide(err, st.lastDOP)
+		if !ok {
+			return nil, err
+		}
+		st.degCap = cap
 	}
 }
 
@@ -793,9 +871,17 @@ func runStatic(ctx context.Context, st *execState) (*ExecResult, error) {
 		// of parallelism as a least-expected-cost alternative, exactly how
 		// low-memory choose-plan branches are selected.
 		dop, maxDOP, parReason = chooseDOP(db, st.root, ib, st.mem, st.maxDOP)
+		if st.degCap > 0 && dop > st.degCap {
+			// The degradation ladder has capped the width: a fault already
+			// escaped per-worker retry at the wider DOP this query ran with.
+			dop = st.degCap
+			parReason = "degraded"
+		}
+		st.lastDOP = dop
 		pe = &obs.ParallelExec{}
 		if dop > 1 {
 			e.Parallel = dop
+			e.Retry = st.wpol
 			e.Par = pe
 		}
 	}

@@ -290,8 +290,10 @@ func TestExecResultFieldUniformity(t *testing.T) {
 		// guard would trip anyway; the account must stay uniformly nil.
 		"Reopt": {def: expectZero},
 		// Likewise no façade here passes ExecOptions.Parallel, so the
-		// parallelism account must stay uniformly nil.
+		// parallelism account must stay uniformly nil — and with no
+		// parallel execution the degradation ladder can take no step.
 		"Parallel": {def: expectZero},
+		"Degrade":  {def: expectZero},
 	}
 
 	typ := reflect.TypeOf(ExecResult{})
