@@ -5,10 +5,11 @@
 //	              per-operator and per-relation aggregates)
 //	/calibration  interval-calibration reports, worst offenders first
 //	/queries      recent run records as JSON lines (?n=K for the newest K)
+//	/traces       recent query span trees as JSON lines (?n=K likewise)
 //
 // Usage:
 //
-//	obsd [-addr :8344] [-seed 7] [-n 200] [-interval 50ms] [-stale 4] [-reopt] [-worker-faults 0]
+//	obsd [-addr :8344] [-seed 7] [-n 200] [-interval 50ms] [-stale 4] [-reopt] [-worker-faults 0] [-trace] [-profile]
 //
 // The demo database is the 3-way chain join the repository's experiments
 // use (E1 ⋈ E2 ⋈ E3, each with a selection on a host variable), executed
@@ -24,18 +25,24 @@
 // workload to parallel execution: worker retries absorb the faults and
 // the recovery shows up live in the worker_retries / dop_degrades
 // counters, the worker-retry backoff histogram, and the degrade events
-// in /queries. With -n 0 the server starts with an empty registry;
-// otherwise it keeps serving after the workload finishes so the
-// endpoints can be inspected at leisure.
+// in /queries. -trace turns on end-to-end span tracing, populating
+// /traces with each query's span tree and /metrics with per-stage
+// latency histograms. -profile additionally mounts the runtime
+// profiler (/debug/pprof/...) and expvar (/debug/vars) next to the
+// observatory endpoints. With -n 0 the server starts with an empty
+// registry; otherwise it keeps serving after the workload finishes so
+// the endpoints can be inspected at leisure.
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -51,6 +58,8 @@ func main() {
 	reopt := flag.Bool("reopt", false, "arm mid-query re-optimization on every workload query")
 	workerFaults := flag.Float64("worker-faults", 0,
 		"transient-fault rate injected into one parallel scan partition of E1; > 0 runs the workload parallel")
+	trace := flag.Bool("trace", false, "turn on end-to-end span tracing (/traces, per-stage latency histograms)")
+	profile := flag.Bool("profile", false, "mount net/http/pprof under /debug/pprof/ and expvar under /debug/vars")
 	flag.Parse()
 
 	db, mod, q, err := demoDatabase(*seed, *stale)
@@ -68,6 +77,9 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *trace {
+		db.EnableTracing()
+	}
 
 	var rp *dynplan.ReoptPolicy
 	if *reopt {
@@ -79,8 +91,20 @@ func main() {
 		}
 	}()
 
-	log.Printf("obsd: serving /metrics /calibration /queries on %s", *addr)
-	if err := http.ListenAndServe(*addr, db.Handler()); err != nil {
+	handler := db.Handler()
+	if *profile {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	log.Printf("obsd: serving /metrics /calibration /queries /traces on %s", *addr)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatal(err)
 	}
 }

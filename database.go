@@ -40,6 +40,11 @@ type Database struct {
 	// (EnableObservatory); nil means disabled and every recording hook
 	// reduces to one pointer comparison.
 	metrics atomic.Pointer[obs.Registry]
+	// tracing enables end-to-end span tracing (EnableTracing): every
+	// execution builds a span tree over its pipeline stages; traceSeq
+	// numbers the traces, making trace IDs deterministic per database.
+	tracing  atomic.Bool
+	traceSeq atomic.Uint64
 	// gov, when non-nil, governs admission and memory grants for
 	// ExecuteGoverned; breaker is the per-relation circuit breaker
 	// ExecuteResilient consults. Both are internally synchronized.
@@ -261,6 +266,14 @@ type ExecResult struct {
 	// per-worker retry (the overwhelmingly common case) and on every
 	// non-parallel path.
 	Degrade []DegradeEvent
+
+	// TraceID identifies the query's span tree and Trace carries it, when
+	// tracing was enabled (EnableTracing or ExecOptions.Trace): one span
+	// per pipeline stage, reopt attempt, degradation rung, and exchange
+	// worker, with explicit wait-state attribution. Render it with
+	// Trace.Render(), or fetch it later from /traces by TraceID.
+	TraceID string
+	Trace   *obs.TraceRecord
 }
 
 // DegradeEvent is one rung of the graceful-degradation ladder; see

@@ -70,6 +70,12 @@ type ExecOptions struct {
 	// the ladder with defaults; Degrade.Disabled turns it off. Only
 	// meaningful with Parallel.
 	Degrade *DegradePolicy
+	// Trace builds an end-to-end span tree for this query regardless of
+	// the database-wide EnableTracing switch: one span per pipeline stage,
+	// reopt attempt, degradation rung, and exchange worker, with wait
+	// states attributed. The result's TraceID and Trace fields carry it,
+	// and the observatory's /traces ring retains it when enabled.
+	Trace bool
 }
 
 // WorkerRetryPolicy bounds the per-worker retry loop inside exchange
@@ -94,7 +100,8 @@ type DegradePolicy struct {
 // non-plan) fail fast with an error wrapping ErrPipeline.
 func (db *Database) Exec(ctx context.Context, q any, b Bindings, o ExecOptions) (*ExecResult, error) {
 	st := &execState{db: db, b: b, mem: b.MemoryPages, pol: o.Policy, run: runStatic,
-		par: o.Parallel, maxDOP: o.MaxDOP, wpol: o.WorkerRetry, deg: o.Degrade}
+		par: o.Parallel, maxDOP: o.MaxDOP, wpol: o.WorkerRetry, deg: o.Degrade,
+		traceOn: o.Trace}
 	adaptiveTarget := false
 	switch t := q.(type) {
 	case *Module:

@@ -106,6 +106,14 @@ func (c *Controller) Decide(err error, curDOP int) (nextDOP int, ok bool) {
 	return nextDOP, true
 }
 
+// Last returns the most recent ladder step, or nil when none was taken.
+func (c *Controller) Last() *obs.DegradeEvent {
+	if c == nil || len(c.events) == 0 {
+		return nil
+	}
+	return &c.events[len(c.events)-1]
+}
+
 // Events returns the ladder steps taken so far, in order.
 func (c *Controller) Events() []obs.DegradeEvent {
 	if c == nil {

@@ -51,6 +51,8 @@ func (db *DB) workerClone() *DB {
 		Parallel: db.Parallel,
 		Retry:    db.Retry,
 		Par:      db.Par,
+		Trace:    db.Trace, // the tracer is mutex-guarded
+		Span:     db.Span,
 	}
 }
 
@@ -168,6 +170,10 @@ type exchangeWorker struct {
 	// delivered are a prefix, and the tallies must not be cross-checked
 	// against a complete partition.
 	torn bool
+	// span is this worker's trace span (nil when tracing is off): it
+	// covers the goroutine's whole life and carries the backoff sleeps as
+	// worker-backoff waits.
+	span *obs.Span
 }
 
 // fold moves the private accountant's charges since last into the shared
@@ -222,6 +228,9 @@ func (w *exchangeWorker) run(out chan<- []storage.Row, stop <-chan struct{}, fol
 		w.retries++
 		d := pol.delay(w.id, int(w.retries))
 		w.backoffs = append(w.backoffs, int64(d))
+		// The nominal, deterministic pause — the same figure the retry
+		// account reports — attributed as this worker's backoff wait.
+		w.span.AddWait(obs.WaitWorkerBackoff, int64(d))
 		if d > 0 {
 			t := time.NewTimer(d)
 			var done <-chan struct{}
@@ -335,6 +344,27 @@ type exchangeIter struct {
 	pos       int
 	batches   int64
 	waitNanos int64
+	// span covers the exchange's open-to-close life in the query's trace;
+	// concurrent with the Run stage's other work, worker spans beneath it.
+	span *obs.Span
+}
+
+// openSpans opens the exchange's trace span and one concurrent span per
+// worker goroutine; a nil tracer makes this a single pointer check.
+func (ex *exchangeIter) openSpans() {
+	if ex.db.Trace == nil {
+		return
+	}
+	name := ex.kind
+	if ex.node.Rel != "" {
+		name += " " + ex.node.Rel
+	}
+	ex.span = ex.db.Trace.Start(ex.db.Span, name, obs.SpanExchange)
+	ex.span.MarkConcurrent()
+	for _, w := range ex.workers {
+		w.span = ex.db.Trace.Start(ex.span, fmt.Sprintf("worker-%d", w.id), obs.SpanWorker)
+		w.span.MarkConcurrent()
+	}
 }
 
 func (ex *exchangeIter) Open() error {
@@ -353,6 +383,7 @@ func (ex *exchangeIter) Open() error {
 	ex.started, ex.closed = true, false
 	ex.widx, ex.cur, ex.pos = 0, nil, 0
 	ex.batches, ex.waitNanos = 0, 0
+	ex.openSpans()
 	if ex.ordered {
 		for _, w := range ws {
 			w.out = make(chan []storage.Row, 2)
@@ -360,6 +391,7 @@ func (ex *exchangeIter) Open() error {
 			go func(w *exchangeWorker) {
 				defer ex.wg.Done()
 				defer close(w.out)
+				defer w.span.End()
 				w.run(w.out, ex.stop, ex.db.Acc)
 			}(w)
 		}
@@ -370,6 +402,7 @@ func (ex *exchangeIter) Open() error {
 	for _, w := range ws {
 		go func(w *exchangeWorker) {
 			defer ex.wg.Done()
+			defer w.span.End()
 			w.run(ex.merged, ex.stop, ex.db.Acc)
 		}(w)
 	}
@@ -470,6 +503,8 @@ func (ex *exchangeIter) Close() error {
 	}
 	ex.wg.Wait()
 	ex.record()
+	ex.span.AddWait(obs.WaitExchangeChannel, ex.waitNanos)
+	ex.span.End()
 	return nil
 }
 

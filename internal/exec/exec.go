@@ -108,6 +108,14 @@ type DB struct {
 	// Par, when non-nil, collects per-exchange worker tallies for the
 	// execution's ParallelStats; nil-safe like Obs.
 	Par *obs.ParallelExec
+	// Trace, when non-nil, is the query's span tracer and Span the open
+	// parent span (the pipeline's Run stage): exchange operators hang one
+	// concurrent span per exchange and per worker goroutine under it,
+	// with backoff sleeps and blocked-on-channel time attributed as wait
+	// states. Nil (the default) costs one pointer check per exchange
+	// open.
+	Trace *obs.Trace
+	Span  *obs.Span
 
 	// polls counts cancellation checks so only every pollEvery-th check
 	// actually inspects the context.

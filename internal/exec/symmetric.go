@@ -53,6 +53,7 @@ type symWorker struct {
 	matches      int64
 	hw           atomic.Int64
 	err          error
+	span         *obs.Span
 }
 
 type symHashJoinIter struct {
@@ -84,6 +85,7 @@ type symHashJoinIter struct {
 	started   bool
 	closed    bool
 	spilled   bool
+	span      *obs.Span
 }
 
 // buildSymmetricHashJoin compiles Hash-Join into the streaming symmetric
@@ -157,8 +159,11 @@ func (it *symHashJoinIter) Open() error {
 			ltab: make(map[int64][]storage.Row),
 			rtab: make(map[int64][]storage.Row),
 		}
+	}
+	it.openSpans()
+	for _, w := range it.workers {
 		it.wg.Add(1)
-		go it.runWorker(it.workers[i])
+		go it.runWorker(w)
 	}
 	it.dwg.Add(2)
 	go it.distribute(it.left, it.ldb, 0, it.lcol, &it.lerr, &it.lrows)
@@ -168,6 +173,22 @@ func (it *symHashJoinIter) Open() error {
 		close(out)
 	}(it.wg, it.out)
 	return nil
+}
+
+// openSpans hangs the join's exchange span — and one span per partition
+// worker — off the tracing query's current stage span. All are marked
+// concurrent: partitions overlap each other and the consumer, so their
+// durations must not count toward the parent's sequential child time.
+func (it *symHashJoinIter) openSpans() {
+	if it.db.Trace == nil {
+		return
+	}
+	it.span = it.db.Trace.Start(it.db.Span, "partition-join "+it.node.Op.String(), obs.SpanExchange)
+	it.span.MarkConcurrent()
+	for _, w := range it.workers {
+		w.span = it.db.Trace.Start(it.span, fmt.Sprintf("worker-%d", w.id), obs.SpanWorker)
+		w.span.MarkConcurrent()
+	}
 }
 
 // send delivers a batch to partition p, aborting when the join is torn
@@ -246,6 +267,7 @@ func (it *symHashJoinIter) distribute(src Iterator, sdb *DB, side, col int, errp
 // always complete and teardown cannot deadlock.
 func (it *symHashJoinIter) runWorker(w *symWorker) {
 	defer it.wg.Done()
+	defer w.span.End()
 	var emit []storage.Row
 	flush := func() bool {
 		if len(emit) == 0 {
@@ -443,6 +465,8 @@ func (it *symHashJoinIter) Close() error {
 	it.wg.Wait()
 	it.dwg.Wait()
 	it.record()
+	it.span.AddWait(obs.WaitExchangeChannel, it.waitNanos)
+	it.span.End()
 	for _, w := range it.workers {
 		w.ltab, w.rtab = nil, nil
 	}

@@ -12,16 +12,21 @@ import (
 // installed once and survive Enable/Disable cycles. Endpoints:
 //
 //	/metrics      JSON RegistrySnapshot: counters, gauges, histogram
-//	              quantiles, per-operator and per-relation aggregates.
+//	              quantiles, per-operator and per-relation aggregates,
+//	              per-stage latency histograms.
 //	/calibration  JSON array of CalibrationReports, worst offenders first.
 //	/queries      recent run records as JSON lines (application/x-ndjson),
 //	              oldest first; ?n=K limits to the newest K.
+//	/traces       recent query span trees as JSON lines
+//	              (application/x-ndjson), oldest first; ?n=K limits to the
+//	              newest K. Bounded by the registry's trace ring.
 //
-// The database layer wraps this as (*Database).Handler(), keeping obs free
-// of upward imports.
+// All endpoints are GET-only (a non-GET method answers 405 with an Allow
+// header); unknown routes answer 404. The database layer wraps this as
+// (*Database).Handler(), keeping obs free of upward imports.
 func Handler(source func() *Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
 		r := source()
 		if !r.Enabled() {
 			disabled(w)
@@ -29,7 +34,7 @@ func Handler(source func() *Registry) http.Handler {
 		}
 		writeJSON(w, r.Snapshot())
 	})
-	mux.HandleFunc("/calibration", func(w http.ResponseWriter, req *http.Request) {
+	mux.HandleFunc("GET /calibration", func(w http.ResponseWriter, req *http.Request) {
 		r := source()
 		if !r.Enabled() {
 			disabled(w)
@@ -41,20 +46,15 @@ func Handler(source func() *Registry) http.Handler {
 		}
 		writeJSON(w, reps)
 	})
-	mux.HandleFunc("/queries", func(w http.ResponseWriter, req *http.Request) {
+	mux.HandleFunc("GET /queries", func(w http.ResponseWriter, req *http.Request) {
 		r := source()
 		if !r.Enabled() {
 			disabled(w)
 			return
 		}
-		n := 0
-		if s := req.URL.Query().Get("n"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil || v < 0 {
-				http.Error(w, "obs: n must be a non-negative integer", http.StatusBadRequest)
-				return
-			}
-			n = v
+		n, ok := limitParam(w, req)
+		if !ok {
+			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc := json.NewEncoder(w)
@@ -64,7 +64,40 @@ func Handler(source func() *Registry) http.Handler {
 			}
 		}
 	})
+	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, req *http.Request) {
+		r := source()
+		if !r.Enabled() {
+			disabled(w)
+			return
+		}
+		n, ok := limitParam(w, req)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, rec := range r.RecentTraces(n) {
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+		}
+	})
 	return mux
+}
+
+// limitParam parses the ?n=K limit shared by the ndjson endpoints; on a
+// malformed value it answers 400 and reports false.
+func limitParam(w http.ResponseWriter, req *http.Request) (int, bool) {
+	s := req.URL.Query().Get("n")
+	if s == "" {
+		return 0, true
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		http.Error(w, "obs: n must be a non-negative integer", http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
 }
 
 func disabled(w http.ResponseWriter) {

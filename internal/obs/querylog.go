@@ -56,3 +56,51 @@ func (l *queryLog) recent(max int) []*RunRecord {
 	}
 	return out
 }
+
+// DefaultTraceLogCap bounds the trace ring when no capacity is
+// configured. Traces are an order of magnitude heavier than run records
+// (a whole span tree each), so the ring is correspondingly smaller.
+const DefaultTraceLogCap = 64
+
+// traceLog is the bounded ring buffer behind /traces, the trace-shaped
+// twin of queryLog.
+type traceLog struct {
+	mu   sync.Mutex
+	buf  []*TraceRecord
+	next int
+}
+
+func (l *traceLog) init(cap_ int) {
+	if cap_ <= 0 {
+		cap_ = DefaultTraceLogCap
+	}
+	l.buf = make([]*TraceRecord, 0, cap_)
+}
+
+func (l *traceLog) append(rec *TraceRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cap(l.buf) == 0 {
+		l.buf = make([]*TraceRecord, 0, DefaultTraceLogCap)
+	}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, rec)
+	} else {
+		l.buf[l.next] = rec
+		l.next = (l.next + 1) % len(l.buf)
+	}
+}
+
+func (l *traceLog) recent(max int) []*TraceRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.buf)
+	out := make([]*TraceRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, l.buf[(l.next+i)%n])
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}

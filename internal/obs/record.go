@@ -68,6 +68,9 @@ type RunRecord struct {
 	WallNanos int64  `json:"wall_ns,omitempty"`
 	UnixNanos int64  `json:"unix_ns,omitempty"`
 	Error     string `json:"error,omitempty"`
+	// TraceID cross-references the query's span tree in the /traces ring
+	// when tracing was enabled for the run.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 var nameRe = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)

@@ -321,22 +321,29 @@ type Registry struct {
 	ExchangeWait       Histogram
 	WorkerRetryBackoff Histogram
 
-	mu    sync.Mutex
-	ops   map[string]*OpAggregate
-	rels  map[string]*OpAggregate
-	calib map[calibKey]*CalibrationReport
-	log   queryLog
+	// Traces counts finished query traces folded into the registry.
+	Traces Counter
+
+	mu     sync.Mutex
+	ops    map[string]*OpAggregate
+	rels   map[string]*OpAggregate
+	calib  map[calibKey]*CalibrationReport
+	stages map[string]*Histogram
+	log    queryLog
+	traces traceLog
 }
 
 // NewRegistry returns an empty, enabled registry whose query log retains
 // the most recent logCap run records (DefaultQueryLogCap when logCap ≤ 0).
 func NewRegistry(logCap int) *Registry {
 	r := &Registry{
-		ops:   make(map[string]*OpAggregate),
-		rels:  make(map[string]*OpAggregate),
-		calib: make(map[calibKey]*CalibrationReport),
+		ops:    make(map[string]*OpAggregate),
+		rels:   make(map[string]*OpAggregate),
+		calib:  make(map[calibKey]*CalibrationReport),
+		stages: make(map[string]*Histogram),
 	}
 	r.log.init(logCap)
+	r.traces.init(0)
 	return r
 }
 
@@ -521,6 +528,9 @@ type RegistrySnapshot struct {
 	ExchangeWait       HistogramSnapshot `json:"exchange_wait_ns,omitempty"`
 	WorkerRetryBackoff HistogramSnapshot `json:"worker_retry_backoff_ns,omitempty"`
 
+	Traces       int64                        `json:"traces,omitempty"`
+	StageLatency map[string]HistogramSnapshot `json:"stage_latency_ns,omitempty"`
+
 	Operators map[string]OpAggregate `json:"operators,omitempty"`
 	Relations map[string]OpAggregate `json:"relations,omitempty"`
 }
@@ -561,9 +571,16 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 		ReplanNanos:        r.ReplanNanos.Snapshot(),
 		ExchangeWait:       r.ExchangeWait.Snapshot(),
 		WorkerRetryBackoff: r.WorkerRetryBackoff.Snapshot(),
+		Traces:             r.Traces.Load(),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(r.stages) > 0 {
+		s.StageLatency = make(map[string]HistogramSnapshot, len(r.stages))
+		for k, h := range r.stages {
+			s.StageLatency[k] = h.Snapshot()
+		}
+	}
 	if len(r.ops) > 0 {
 		s.Operators = make(map[string]OpAggregate, len(r.ops))
 		for k, v := range r.ops {
@@ -646,6 +663,62 @@ func (r *Registry) RecentQueries(max int) []*RunRecord {
 		return nil
 	}
 	return r.log.recent(max)
+}
+
+// RecordTrace folds one finished query trace into the registry: the
+// bounded trace ring behind /traces, and one per-stage latency sample for
+// every pipeline-stage span in the tree.
+func (r *Registry) RecordTrace(rec *TraceRecord) {
+	if r == nil || rec == nil {
+		return
+	}
+	r.Traces.Add(1)
+	r.traces.append(rec)
+	if rec.Root == nil {
+		return
+	}
+	rec.Root.Walk(func(s *Span) {
+		if s.Kind != SpanStage {
+			return
+		}
+		r.stageHistogram(s.Name).Record(s.DurationNanos)
+	})
+}
+
+// stageHistogram returns (creating on first use) the latency histogram
+// for the named pipeline stage.
+func (r *Registry) stageHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stages == nil {
+		r.stages = make(map[string]*Histogram)
+	}
+	h := r.stages[name]
+	if h == nil {
+		h = &Histogram{}
+		r.stages[name] = h
+	}
+	return h
+}
+
+// StageLatency returns the named stage's latency histogram, or nil if the
+// stage has never been traced (or the registry is disabled).
+func (r *Registry) StageLatency(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stages[name]
+}
+
+// RecentTraces returns the retained trace records, oldest first, up to
+// max entries (all when max ≤ 0); nil on a nil registry.
+func (r *Registry) RecentTraces(max int) []*TraceRecord {
+	if r == nil {
+		return nil
+	}
+	return r.traces.recent(max)
 }
 
 func floatBits(v float64) uint64     { return math.Float64bits(v) }

@@ -86,6 +86,12 @@ type Policy struct {
 	// Registry receives re-opt counters and temp-leak audit tallies; nil
 	// disables.
 	Registry *obs.Registry
+
+	// Trace and Span, when set, hang a "replan" span (with its planning
+	// time attributed as a wait state) off the query's re-opt stage span
+	// for every re-planning pass. Nil disables.
+	Trace *obs.Trace
+	Span  *obs.Span
 }
 
 // withDefaults fills the zero fields.
@@ -395,13 +401,20 @@ func (c *Controller) Replan(ctx context.Context, b *bindings.Bindings) (*physica
 		return nil, cost.Cost{}, fmt.Errorf("reopt: replanning requires the logical query")
 	}
 	start := time.Now()
+	var sp *obs.Span
+	if c.pol.Trace != nil {
+		sp = c.pol.Trace.Start(c.pol.Span, "replan", obs.SpanReplan)
+	}
 	dq, err := c.deriveQuery()
 	if err != nil {
+		sp.End()
 		return nil, cost.Cost{}, err
 	}
 	corrected := c.CorrectBindings(b)
 	res, err := runtimeopt.OptimizeRuntime(dq, corrected, c.pol.Config)
 	elapsed := time.Since(start)
+	sp.AddWait(obs.WaitReplanPlanning, elapsed.Nanoseconds())
+	sp.End()
 	c.mu.Lock()
 	c.planning += elapsed
 	c.mu.Unlock()

@@ -76,11 +76,20 @@ func (db *Database) RecentQueries(max int) []*RunRecord {
 	return db.metrics.Load().RecentQueries(max)
 }
 
+// RecentTraces returns the observatory's retained query span trees,
+// oldest first, up to max entries (all when max <= 0); nil while the
+// observatory is disabled. Populated only while tracing is also on
+// (EnableTracing or ExecOptions.Trace).
+func (db *Database) RecentTraces(max int) []*TraceRecord {
+	return db.metrics.Load().RecentTraces(max)
+}
+
 // Handler serves the observatory over HTTP: /metrics (JSON snapshot),
-// /calibration (JSON reports, worst first), and /queries (recent run
-// records as JSON lines; ?n=K limits to the newest K). While the
-// observatory is disabled the endpoints answer 503, so the handler can be
-// mounted once and survive Enable/Disable cycles.
+// /calibration (JSON reports, worst first), /queries (recent run records
+// as JSON lines; ?n=K limits to the newest K), and /traces (recent query
+// span trees as JSON lines; ?n=K likewise). While the observatory is
+// disabled the endpoints answer 503, so the handler can be mounted once
+// and survive Enable/Disable cycles.
 func (db *Database) Handler() http.Handler {
 	return obs.Handler(func() *obs.Registry { return db.metrics.Load() })
 }
@@ -105,18 +114,23 @@ func querySampleOf(res *ExecResult, wall time.Duration) obs.QuerySample {
 }
 
 // queryLogRecord builds the run record the observatory's query log
-// retains for one execution (or one failure).
-func (db *Database) queryLogRecord(res *ExecResult, wall time.Duration, err error) *obs.RunRecord {
+// retains for one execution (or one failure). traceID cross-references
+// the query's span tree when tracing was on; it is threaded explicitly
+// because the record is logged before the trace is sealed onto the
+// result (and failures carry no result at all).
+func (db *Database) queryLogRecord(res *ExecResult, wall time.Duration, err error, traceID string) *obs.RunRecord {
 	if err != nil {
 		return &obs.RunRecord{
 			Name:      "query",
 			WallNanos: wall.Nanoseconds(),
 			UnixNanos: time.Now().UnixNano(),
 			Error:     err.Error(),
+			TraceID:   traceID,
 		}
 	}
 	rec := res.RunRecordFor("query", "", db.sys.params)
 	rec.WallNanos = wall.Nanoseconds()
 	rec.UnixNanos = time.Now().UnixNano()
+	rec.TraceID = traceID
 	return rec
 }

@@ -26,7 +26,41 @@ type (
 	// RunRecord is the machine-readable JSON record of one measured run,
 	// the unit the CI benchmark pipeline diffs (BENCH_<name>.json).
 	RunRecord = obs.RunRecord
+	// TraceRecord is one query's finished span tree: a span per pipeline
+	// stage, reopt attempt, degradation rung, and exchange worker, with
+	// wait states attributed (see ExecResult.Trace and /traces).
+	TraceRecord = obs.TraceRecord
+	// TraceSpan is one node of a trace's span tree.
+	TraceSpan = obs.Span
 )
+
+// EnableTracing turns on end-to-end span tracing for every subsequent
+// execution: each query builds a hierarchical span tree over its pipeline
+// stages — with re-optimization attempts, degradation rungs, parallel
+// exchange workers, and explicit wait-state attribution (admission queue,
+// grant negotiation, backoff sleeps, exchange channel waits, replan
+// planning time) — carried on ExecResult.Trace under a deterministic
+// TraceID. When the workload observatory is also enabled, finished traces
+// land in its bounded ring and are served by the /traces endpoint, and
+// each stage's latency feeds the per-stage histograms in /metrics. When
+// disabled (the default), the per-stage overhead is one pointer
+// comparison and no allocations; a single query can opt in instead via
+// ExecOptions.Trace.
+func (db *Database) EnableTracing() { db.tracing.Store(true) }
+
+// DisableTracing turns span tracing back off; in-flight queries finish
+// their traces.
+func (db *Database) DisableTracing() { db.tracing.Store(false) }
+
+// TracingEnabled reports whether database-wide span tracing is on.
+func (db *Database) TracingEnabled() bool { return db.tracing.Load() }
+
+// nextTraceID issues the next deterministic trace identifier; the
+// sequence is per database, so a run's Nth traced query is always
+// t<N> zero-padded.
+func (db *Database) nextTraceID() string {
+	return fmt.Sprintf("t%08d", db.traceSeq.Add(1))
+}
 
 // EnableObservability turns on per-operator metrics collection: subsequent
 // Execute* calls populate ExecResult.Operators with a stats tree parallel
@@ -85,6 +119,11 @@ func (r *ExecResult) ExplainAnalyze(p Params) string {
 	for _, line := range obs.RenderParallel(r.Parallel) {
 		out += line + "\n"
 	}
+	if r.Trace != nil {
+		// The per-stage latency breakdown: the span tree with durations,
+		// self times, and attributed waits per pipeline stage.
+		out += r.Trace.Render()
+	}
 	return out
 }
 
@@ -118,6 +157,7 @@ func (r *ExecResult) RunRecordFor(name, query string, p Params) *RunRecord {
 		BackoffTotalNanos: r.BackoffTotal.Nanoseconds(),
 		PlanDigest:        r.PlanDigest,
 		Calibration:       r.Calibration,
+		TraceID:           r.TraceID,
 	}
 	if len(r.Calibration) > 0 {
 		maxQ := 0.0

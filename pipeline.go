@@ -224,6 +224,16 @@ type execState struct {
 	// acc, when set by the Reopt stage, is the accountant the Run stage
 	// must use — the progress watchdog polls its tuple counter.
 	acc *storage.Accountant
+
+	// traceOn requests a span tree for this query (ExecOptions.Trace);
+	// trace is the live tracer (nil when tracing is off — the disabled
+	// fast path is that one pointer comparison) and span the innermost
+	// open stage span, the parent each stage hangs its children and wait
+	// states under. Only the query's own goroutine moves span; worker
+	// goroutines receive their parent span by value.
+	traceOn bool
+	trace   *obs.Trace
+	span    *obs.Span
 }
 
 // pipelineFunc is a compiled (sub-)stack: the continuation each stage
@@ -293,17 +303,49 @@ func compilePipeline(kinds ...stageKind) (*pipeline, error) {
 		return bad("Breaker requires an Activate stage to exclude blocked relations")
 	}
 
-	fn := pipelineFunc(func(ctx context.Context, st *execState) (*ExecResult, error) {
+	// Each stage composes with a tracing decorator. The decorator's
+	// disabled branch is one pointer comparison and no calls, preserving
+	// the 0-allocs/op dispatch BenchmarkExecPipelineOverhead pins; the
+	// enabled branch opens one stage span, threads it through st.span as
+	// the parent for everything the stage does, and closes it on the way
+	// out — wrapper depth mirrors stack order, so a trace *is* the
+	// pipeline made visible.
+	fn := traceStage(stageRun.String(), nil, pipelineFunc(func(ctx context.Context, st *execState) (*ExecResult, error) {
 		return st.run(ctx, st)
-	})
+	}))
 	for i := len(kinds) - 2; i >= 0; i-- {
-		stage := stageOf(kinds[i])
-		next := fn
-		fn = func(ctx context.Context, st *execState) (*ExecResult, error) {
-			return stage(ctx, st, next)
-		}
+		fn = traceStage(kinds[i].String(), stageOf(kinds[i]), fn)
 	}
 	return &pipeline{kinds: kinds, fn: fn}, nil
+}
+
+// traceStage wraps one stage (or, with a nil stage, the terminal run
+// continuation) in its span decorator.
+func traceStage(name string, stage stageFunc, next pipelineFunc) pipelineFunc {
+	if stage == nil {
+		return func(ctx context.Context, st *execState) (*ExecResult, error) {
+			if st.trace == nil {
+				return next(ctx, st)
+			}
+			parent := st.span
+			st.span = st.trace.Start(parent, name, obs.SpanStage)
+			res, err := next(ctx, st)
+			st.span.End()
+			st.span = parent
+			return res, err
+		}
+	}
+	return func(ctx context.Context, st *execState) (*ExecResult, error) {
+		if st.trace == nil {
+			return stage(ctx, st, next)
+		}
+		parent := st.span
+		st.span = st.trace.Start(parent, name, obs.SpanStage)
+		res, err := stage(ctx, st, next)
+		st.span.End()
+		st.span = parent
+		return res, err
+	}
 }
 
 // mustPipeline compiles one of the Database's own stacks; these are
@@ -317,14 +359,30 @@ func mustPipeline(kinds ...stageKind) *pipeline {
 }
 
 // exec runs the compiled stack over the state, unwrapping stage-internal
-// abort markers before the caller sees the error.
+// abort markers before the caller sees the error. This is the tracer's
+// single construction point (the lint gate pins obs.NewTrace here and in
+// internal/obs): when tracing is on — database-wide via EnableTracing or
+// per query via ExecOptions.Trace — the query gets a deterministic trace
+// ID, every stage below builds the span tree, and the finished record is
+// attached to the result and folded into the observatory's /traces ring.
 func (p *pipeline) exec(ctx context.Context, st *execState) (*ExecResult, error) {
+	if st.traceOn || st.db.tracing.Load() {
+		st.trace = obs.NewTrace(st.db.nextTraceID())
+	}
 	res, err := p.fn(ctx, st)
 	if err != nil {
 		var abort *stageAbort
 		if errors.As(err, &abort) {
-			return nil, abort.err
+			res, err = nil, abort.err
 		}
+	}
+	if st.trace != nil {
+		rec := st.trace.Finish(err)
+		if res != nil {
+			res.TraceID = rec.ID
+			res.Trace = rec
+		}
+		st.db.metrics.Load().RecordTrace(rec)
 	}
 	return res, err
 }
@@ -426,12 +484,12 @@ func recordStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRe
 			reg.RecordShed()
 		} else {
 			reg.RecordQuery(obs.QuerySample{WallNanos: wall.Nanoseconds(), Failed: true})
-			reg.LogQuery(st.db.queryLogRecord(nil, wall, err))
+			reg.LogQuery(st.db.queryLogRecord(nil, wall, err, st.trace.ID()))
 		}
 		return nil, err
 	}
 	reg.RecordQuery(querySampleOf(res, wall))
-	reg.LogQuery(st.db.queryLogRecord(res, wall, nil))
+	reg.LogQuery(st.db.queryLogRecord(res, wall, nil, st.trace.ID()))
 	return res, nil
 }
 
@@ -445,7 +503,14 @@ func admitStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRes
 	if gov == nil {
 		return next(ctx, st)
 	}
+	var t0 time.Time
+	if st.span != nil {
+		t0 = time.Now()
+	}
 	adm, err := gov.Admit(ctx)
+	if st.span != nil {
+		st.span.AddWait(obs.WaitAdmissionQueue, time.Since(t0).Nanoseconds())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -463,7 +528,14 @@ func grantStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRes
 	if st.adm == nil {
 		return next(ctx, st)
 	}
+	var t0 time.Time
+	if st.span != nil {
+		t0 = time.Now()
+	}
 	ticket, qctx, err := st.adm.Grant(ctx, st.b.MemoryPages)
+	if st.span != nil {
+		st.span.AddWait(obs.WaitGrant, time.Since(t0).Nanoseconds())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -608,6 +680,7 @@ func retryStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRes
 		if err := sleepBackoff(ctx, d); err != nil {
 			return nil, err
 		}
+		st.span.AddWait(obs.WaitRetryBackoff, d.Nanoseconds())
 	}
 }
 
@@ -638,8 +711,15 @@ func degradeStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecR
 		pol.MinDOP = st.deg.MinDOP
 	}
 	dc := degrade.NewController(pol)
+	// Each post-decision re-run is wrapped in a rung span named after the
+	// ladder step it descends ("dop-halve dop=2"); the first run is not a
+	// rung and stays directly under the Degrade span.
+	parent := st.span
+	var rung *obs.Span
 	for {
 		res, err := next(ctx, st)
+		rung.End()
+		st.span = parent
 		if err == nil {
 			if ev := dc.Events(); len(ev) > 0 {
 				res.Degrade = ev
@@ -659,6 +739,14 @@ func degradeStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecR
 			return nil, err
 		}
 		st.degCap = cap
+		if st.trace != nil {
+			name := fmt.Sprintf("dop=%d", cap)
+			if ev := dc.Last(); ev != nil {
+				name = fmt.Sprintf("%s dop=%d", ev.Rung, cap)
+			}
+			rung = st.trace.Start(parent, name, obs.SpanRung)
+			st.span = rung
+		}
 	}
 }
 
@@ -698,6 +786,8 @@ func reoptStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRes
 		Deadline:          pol.Deadline,
 		NoProgressTimeout: pol.NoProgressTimeout,
 		Registry:          st.db.metrics.Load(),
+		Trace:             st.trace,
+		Span:              st.span,
 	}
 	if pol.Query != nil {
 		rp.Query = pol.Query.Logical()
@@ -718,10 +808,22 @@ func reoptStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRes
 	// The watchdog snapshots the tuple counter at each attempt's start, so
 	// accumulation never masks a stall.
 	st.acc = &storage.Accountant{}
-	for {
+	// Every execution attempt gets its own span under the Reopt stage, so
+	// Activate/Run appear exactly once per attempt and the attempts (and
+	// the replans between them — spans the controller opens) read off the
+	// tree in order.
+	parent := st.span
+	for attempt := 1; ; attempt++ {
+		var asp *obs.Span
+		if st.trace != nil {
+			asp = st.trace.Start(parent, fmt.Sprintf("reopt-attempt-%d", attempt), obs.SpanAttempt)
+			st.span = asp
+		}
 		attemptCtx, stopWatchdog := rc.StartWatchdog(dctx, st.acc)
 		res, err := next(attemptCtx, st)
 		stopWatchdog()
+		asp.End()
+		st.span = parent
 		if err == nil {
 			res.Reopt = rc.Account()
 			return res, nil
@@ -850,6 +952,8 @@ func runStatic(ctx context.Context, st *execState) (*ExecResult, error) {
 		Faults:  inj,
 		Obs:     collector,
 		Wrap:    db.wrap,
+		Trace:   st.trace,
+		Span:    st.span,
 	}
 	bb := st.b
 	bb.MemoryPages = st.mem

@@ -294,6 +294,10 @@ func TestExecResultFieldUniformity(t *testing.T) {
 		// parallel execution the degradation ladder can take no step.
 		"Parallel": {def: expectZero},
 		"Degrade":  {def: expectZero},
+		// Tracing is off (neither EnableTracing nor ExecOptions.Trace), so
+		// no façade may carry a trace ID or span tree.
+		"TraceID": {def: expectZero},
+		"Trace":   {def: expectZero},
 	}
 
 	typ := reflect.TypeOf(ExecResult{})

@@ -1,0 +1,74 @@
+package dynplan
+
+import (
+	"context"
+	"testing"
+
+	"dynplan/internal/obs"
+)
+
+// BenchmarkTraceOverhead pins the cost of span tracing at both ends of
+// the switch. With tracing off, the per-stage hook is a single pointer
+// comparison folded into the composed pipeline closures — the "disabled"
+// case asserts the dispatch still allocates nothing, so queries that
+// never asked for a trace pay nothing for the tracer's existence. With
+// tracing on, the "traced" case measures the real price of building a
+// span tree per query: the trace header, one arena for the spans, and
+// the finish walk — the figure the overhead ablation in EXPERIMENTS.md
+// quotes.
+func BenchmarkTraceOverhead(b *testing.B) {
+	db := New().OpenDatabase()
+	stub := &ExecResult{}
+	run := func(ctx context.Context, st *execState) (*ExecResult, error) {
+		return stub, nil
+	}
+	ctx := context.Background()
+
+	b.Run("disabled", func(b *testing.B) {
+		st := &execState{db: db, run: run}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.pipes.plain.exec(ctx, st); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if allocs := testing.AllocsPerRun(100, func() {
+			_, _ = db.pipes.plain.exec(ctx, st)
+		}); allocs != 0 {
+			b.Fatalf("untraced dispatch allocates %v objects per query, want 0", allocs)
+		}
+	})
+
+	// Per-query opt-in over the full governed stack: every stage opens and
+	// closes a span, the trace is sealed, and the record is assembled —
+	// the worst-case fixed cost a traced query pays beyond its real work.
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st := &execState{db: db, run: run, mem: 64, traceOn: true}
+			if _, err := db.pipes.governed.exec(ctx, st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if benchRecordDir() != "" {
+		rec := &obs.RunRecord{
+			Name:  "trace-overhead",
+			Query: "span-tracing overhead of the execution pipeline (stubbed run stage)",
+			Metrics: map[string]float64{
+				"disabled-allocs": 0,
+				"traced-stages":   7,
+				"arena-spans":     48,
+			},
+			// Structural record: drift in the zero-alloc guarantee for the
+			// disabled path or in the traced stack shape shows up in
+			// review; no simulated cost is gated.
+			SimCostTotal: 0,
+		}
+		writeBenchRecord(b, rec)
+	}
+}
