@@ -444,12 +444,13 @@ func BenchmarkAblationPlanShrinking(b *testing.B) {
 		}
 		return bd
 	}
+	stats := plan.NewUsageStats()
 	for i := 0; i < 50; i++ {
-		if _, err := fresh.Activate(narrow(i), plan.StartupOptions{Params: e.params}); err != nil {
+		if _, err := fresh.Activate(narrow(i), plan.StartupOptions{Params: e.params, Usage: stats}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	shrunk, err := fresh.Shrink()
+	shrunk, err := fresh.Shrink(stats)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -36,39 +36,89 @@ const moduleMagic = "DYNPLAN1"
 // AccessModule is a serialized query evaluation plan plus its in-memory
 // form. Static and dynamic plans use the same representation; dynamic
 // plans simply contain choose-plan nodes.
+//
+// A module is immutable once compiled: activation reads the DAG but never
+// writes module state, so one module can be activated by any number of
+// concurrent queries — and cached and shared across prepared statements —
+// without synchronization. Per-execution usage statistics live in a
+// separate UsageStats owned by the caller, not on the shared artifact.
 type AccessModule struct {
 	root  *physical.Node
 	nodes int
 	raw   []byte
-
-	// statsMu guards usage and activations: concurrent queries activate
-	// one shared module, and the shrinking heuristic reads the statistics
-	// while activations may still be running.
-	statsMu sync.Mutex
-	// usage maps each DAG node to the number of activations whose chosen
-	// plan included it, the statistic driving the shrinking heuristic.
-	usage       map[*physical.Node]int
-	activations int
 	// planCost is the optimizer's compile-time predicted cost interval for
 	// the whole plan over its uncertainty region, set by the compiling
-	// system (it is not serialized; modules loaded from bytes carry a zero
+	// system immediately after construction, before the module is shared
+	// (it is not serialized; modules loaded from bytes carry a zero
 	// interval and the calibration layer skips the plan-cost check).
 	planCost cost.Cost
 }
 
-// SetPlanCost attaches the compile-time predicted cost interval.
+// SetPlanCost attaches the compile-time predicted cost interval. It must
+// be called at build time, before the module is shared: once a module is
+// visible to concurrent activations (or a plan cache), it is read-only.
 func (m *AccessModule) SetPlanCost(c cost.Cost) {
-	m.statsMu.Lock()
 	m.planCost = c
-	m.statsMu.Unlock()
 }
 
 // PlanCost returns the compile-time predicted cost interval (zero for
 // modules loaded from serialized bytes).
 func (m *AccessModule) PlanCost() cost.Cost {
-	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
 	return m.planCost
+}
+
+// UsageStats accumulates activation statistics for one access module —
+// which DAG nodes chosen plans have used, and how often the module was
+// activated — the inputs of the §4 shrinking heuristic. The statistics
+// live outside the module so the compiled artifact stays read-only and
+// concurrently shareable; the mutex here guards only this accumulator.
+type UsageStats struct {
+	mu          sync.Mutex
+	usage       map[*physical.Node]int
+	activations int
+}
+
+// NewUsageStats returns an empty usage accumulator.
+func NewUsageStats() *UsageStats {
+	return &UsageStats{usage: make(map[*physical.Node]int)}
+}
+
+// Activations returns how many activations have been recorded.
+func (s *UsageStats) Activations() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.activations
+}
+
+// record folds one activation's used-node set into the accumulator;
+// no-op on a nil receiver, so activation without stats costs nothing.
+func (s *UsageStats) record(used map[*physical.Node]bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.activations++
+	for n := range used {
+		s.usage[n]++
+	}
+	s.mu.Unlock()
+}
+
+// snapshot copies the accumulator for a consistent read.
+func (s *UsageStats) snapshot() (map[*physical.Node]int, int) {
+	if s == nil {
+		return nil, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	usage := make(map[*physical.Node]int, len(s.usage))
+	for n, c := range s.usage {
+		usage[n] = c
+	}
+	return usage, s.activations
 }
 
 // NewModule serializes a plan DAG into an access module.
@@ -87,7 +137,6 @@ func NewModule(root *physical.Node) (*AccessModule, error) {
 		root:  root,
 		nodes: root.CountNodes(),
 		raw:   raw,
-		usage: make(map[*physical.Node]int),
 	}, nil
 }
 
@@ -105,7 +154,6 @@ func Load(raw []byte) (*AccessModule, error) {
 		root:  root,
 		nodes: root.CountNodes(),
 		raw:   raw,
-		usage: make(map[*physical.Node]int),
 	}, nil
 }
 
@@ -142,13 +190,6 @@ func (m *AccessModule) Bytes() []byte { return m.raw }
 // nodes at 2 MB/s, about 16,000 nodes per second).
 func (m *AccessModule) ReadTime(p physical.Params) float64 {
 	return p.ModuleReadTime(m.nodes)
-}
-
-// Activations returns how many times the module has been activated.
-func (m *AccessModule) Activations() int {
-	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
-	return m.activations
 }
 
 // encode serializes the DAG: nodes in topological (children-first) order,

@@ -54,11 +54,12 @@ func BenchmarkShrink(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := mod.Activate(bindingsFor(6, 0.01, 64), StartupOptions{}); err != nil {
+	stats := NewUsageStats()
+	if _, err := mod.Activate(bindingsFor(6, 0.01, 64), StartupOptions{Usage: stats}); err != nil {
 		b.Fatal(err)
 	}
 	for b.Loop() {
-		if _, err := mod.Shrink(); err != nil {
+		if _, err := mod.Shrink(stats); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -177,7 +177,8 @@ func TestActivateReportsAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := bindingsFor(4, 0.4, 48)
-	rep, err := mod.Activate(b, StartupOptions{})
+	stats := NewUsageStats()
+	rep, err := mod.Activate(b, StartupOptions{Usage: stats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,8 +205,8 @@ func TestActivateReportsAccounting(t *testing.T) {
 	if rep.MeasuredCPU <= 0 {
 		t.Error("measured CPU not recorded")
 	}
-	if mod.Activations() != 1 {
-		t.Errorf("activations = %d", mod.Activations())
+	if stats.Activations() != 1 {
+		t.Errorf("activations = %d", stats.Activations())
 	}
 }
 
@@ -264,21 +265,22 @@ func TestShrinkRemovesUnusedAlternatives(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mod.Shrink(); err == nil {
+	stats := NewUsageStats()
+	if _, err := mod.Shrink(stats); err == nil {
 		t.Error("shrink before any activation must fail")
 	}
 	// Activate repeatedly in a narrow band of bindings.
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 50; i++ {
 		b := bindingsFor(4, 0.001+rng.Float64()*0.02, 64)
-		if _, err := mod.Activate(b, StartupOptions{}); err != nil {
+		if _, err := mod.Activate(b, StartupOptions{Usage: stats}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if f := mod.UsageFraction(); f <= 0 || f >= 1 {
+	if f := mod.UsageFraction(stats); f <= 0 || f >= 1 {
 		t.Errorf("usage fraction %g not in (0,1) — narrow bindings should use a strict subset", f)
 	}
-	shrunk, err := mod.Shrink()
+	shrunk, err := mod.Shrink(stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,10 +318,11 @@ func TestShrinkOnStaticModule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mod.Activate(bindingsFor(2, 0.5, 64), StartupOptions{}); err != nil {
+	stats := NewUsageStats()
+	if _, err := mod.Activate(bindingsFor(2, 0.5, 64), StartupOptions{Usage: stats}); err != nil {
 		t.Fatal(err)
 	}
-	shrunk, err := mod.Shrink()
+	shrunk, err := mod.Shrink(stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +371,7 @@ func TestReadTimeScalesWithNodes(t *testing.T) {
 func TestUsageFractionEmptyModule(t *testing.T) {
 	res := dynamicPlan(t, 1)
 	mod, _ := NewModule(res.Plan)
-	if mod.UsageFraction() != 0 {
+	if mod.UsageFraction(NewUsageStats()) != 0 {
 		t.Error("fresh module must report zero usage")
 	}
 }

@@ -7,15 +7,14 @@ import (
 )
 
 // UsageFraction returns the fraction of the module's nodes that have been
-// part of at least one chosen plan since the module was created.
-func (m *AccessModule) UsageFraction() float64 {
+// part of at least one chosen plan recorded into stats.
+func (m *AccessModule) UsageFraction(stats *UsageStats) float64 {
 	if m.nodes == 0 {
 		return 0
 	}
-	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
+	usage, _ := stats.snapshot()
 	used := 0
-	for _, c := range m.usage {
+	for _, c := range usage {
 		if c > 0 {
 			used++
 		}
@@ -30,13 +29,15 @@ func (m *AccessModule) UsageFraction() float64 {
 // alternative disappears entirely. The result is a new, smaller module
 // with fresh usage statistics; the receiver is unchanged.
 //
+// The statistics come from the caller-owned accumulator the activations
+// recorded into (the module itself is immutable and carries none).
+//
 // As the paper notes, this is a heuristic: a removed alternative might
 // have been chosen under bindings that simply have not occurred yet, so a
 // shrunk plan trades adaptability for start-up speed.
-func (m *AccessModule) Shrink() (*AccessModule, error) {
-	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
-	if m.activations == 0 {
+func (m *AccessModule) Shrink(stats *UsageStats) (*AccessModule, error) {
+	usage, activations := stats.snapshot()
+	if activations == 0 {
 		return nil, fmt.Errorf("plan: cannot shrink before any activation")
 	}
 	rebuilt := make(map[*physical.Node]*physical.Node)
@@ -48,7 +49,7 @@ func (m *AccessModule) Shrink() (*AccessModule, error) {
 		if n.Op == physical.ChoosePlan {
 			var kept []*physical.Node
 			for _, c := range n.Children {
-				if m.usage[c] > 0 {
+				if usage[c] > 0 {
 					r, err := walk(c)
 					if err != nil {
 						return nil, err

@@ -40,6 +40,12 @@ type StartupOptions struct {
 	// no complete plan avoiding every marked node survives. Nodes are
 	// matched by identity against the module's own DAG.
 	Avoid func(n *physical.Node) bool
+	// Usage, when non-nil, receives this activation's used-node set for
+	// the shrinking heuristic. The accumulator — not the module — carries
+	// the mutable statistics, so a compiled module stays read-only and
+	// concurrently shareable; activation without a Usage sink records
+	// nothing.
+	Usage *UsageStats
 }
 
 // ErrInfeasible reports that no feasible plan remains in the access
@@ -99,8 +105,9 @@ func (r *StartupReport) TotalStartupSeconds() float64 {
 // bindings, evaluates the cost functions over the plan DAG (each shared
 // subplan once), resolves every choose-plan operator to its cheapest
 // alternative, and returns the chosen static plan with the start-up
-// expense breakdown. The module's usage statistics are updated for the
-// shrinking heuristic.
+// expense breakdown. Activation never mutates the module; when
+// opt.Usage is set, the used-node set is folded into that accumulator
+// for the shrinking heuristic.
 func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*StartupReport, error) {
 	if opt.Params == (physical.Params{}) {
 		opt.Params = physical.DefaultParams()
@@ -180,25 +187,24 @@ func (m *AccessModule) Activate(b *bindings.Bindings, opt StartupOptions) (*Star
 	resolved, used, picked := resolve(root, chooser)
 	chosenRes := model.Evaluate(resolved, env)
 
-	m.statsMu.Lock()
-	m.activations++
-	// Usage statistics drive the shrinking heuristic and are keyed by the
-	// module's own DAG nodes; when feasibility validation rebuilt parts of
-	// the DAG, only the surviving original nodes are counted.
-	if root == m.root {
-		for n := range used {
-			m.usage[n]++
-		}
-	} else {
-		originals := make(map[*physical.Node]bool)
-		m.root.Walk(func(n *physical.Node) { originals[n] = true })
-		for n := range used {
-			if originals[n] {
-				m.usage[n]++
+	if opt.Usage != nil {
+		// Usage statistics drive the shrinking heuristic and are keyed by
+		// the module's own DAG nodes; when feasibility validation rebuilt
+		// parts of the DAG, only the surviving original nodes are counted.
+		if root == m.root {
+			opt.Usage.record(used)
+		} else {
+			originals := make(map[*physical.Node]bool)
+			m.root.Walk(func(n *physical.Node) { originals[n] = true })
+			filtered := make(map[*physical.Node]bool, len(used))
+			for n := range used {
+				if originals[n] {
+					filtered[n] = true
+				}
 			}
+			opt.Usage.record(filtered)
 		}
 	}
-	m.statsMu.Unlock()
 
 	return &StartupReport{
 		Chosen:          resolved,

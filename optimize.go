@@ -140,13 +140,18 @@ func (p *Plan) Module() (*Module, error) {
 		return nil, err
 	}
 	m.SetPlanCost(p.res.Cost)
-	return &Module{sys: p.sys, mod: m}, nil
+	return &Module{sys: p.sys, mod: m, stats: plan.NewUsageStats()}, nil
 }
 
-// Module is a serialized plan plus its usage statistics.
+// Module is a serialized plan plus its usage statistics. The compiled
+// access module inside is immutable and concurrently shareable (the plan
+// cache hands one compiled module to many executions); the per-module
+// usage statistics that drive the §4 shrinking heuristic live in a
+// separate accumulator owned by this wrapper.
 type Module struct {
-	sys *System
-	mod *plan.AccessModule
+	sys   *System
+	mod   *plan.AccessModule
+	stats *plan.UsageStats
 }
 
 // LoadModule deserializes an access module previously obtained from
@@ -156,7 +161,7 @@ func (s *System) LoadModule(raw []byte) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Module{sys: s, mod: m}, nil
+	return &Module{sys: s, mod: m, stats: plan.NewUsageStats()}, nil
 }
 
 // Bytes returns the serialized access module.
@@ -171,16 +176,21 @@ func (m *Module) Variables() []string { return m.mod.Root().Variables() }
 
 // UsageFraction returns the fraction of nodes used by at least one
 // activation so far.
-func (m *Module) UsageFraction() float64 { return m.mod.UsageFraction() }
+func (m *Module) UsageFraction() float64 { return m.mod.UsageFraction(m.stats) }
+
+// Activations returns how many activations have been recorded against
+// this module wrapper.
+func (m *Module) Activations() int { return m.stats.Activations() }
 
 // Shrink applies the self-shrinking heuristic of §4: a new module
-// containing only the components past activations have used.
+// containing only the components past activations have used, with fresh
+// usage statistics.
 func (m *Module) Shrink() (*Module, error) {
-	sm, err := m.mod.Shrink()
+	sm, err := m.mod.Shrink(m.stats)
 	if err != nil {
 		return nil, err
 	}
-	return &Module{sys: m.sys, mod: sm}, nil
+	return &Module{sys: m.sys, mod: sm, stats: plan.NewUsageStats()}, nil
 }
 
 // Bindings carries the run-time parameter values supplied when a query is
@@ -213,7 +223,7 @@ type Activation struct {
 // choose-plan decision procedures run (each shared subplan's cost
 // evaluated once), and the cheapest alternative is selected.
 func (m *Module) Activate(b Bindings) (*Activation, error) {
-	rep, err := m.mod.Activate(b.internal(), plan.StartupOptions{Params: m.sys.params})
+	rep, err := m.mod.Activate(b.internal(), plan.StartupOptions{Params: m.sys.params, Usage: m.stats})
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +245,7 @@ var ErrInfeasible = plan.ErrInfeasible
 func (m *Module) ActivateValidated(b Bindings) (*Activation, error) {
 	rep, err := m.mod.Activate(b.internal(), plan.StartupOptions{
 		Params: m.sys.params,
+		Usage:  m.stats,
 		IndexExists: func(rel, attr string) bool {
 			r, err := m.sys.cat.Relation(rel)
 			if err != nil {
@@ -289,7 +300,7 @@ func (s *System) CreateIndex(rel, attr string) error {
 // did not implement). The chosen plan is identical; fewer cost functions
 // are evaluated.
 func (m *Module) ActivateWithBranchAndBound(b Bindings) (*Activation, error) {
-	rep, err := m.mod.Activate(b.internal(), plan.StartupOptions{Params: m.sys.params, BranchAndBound: true})
+	rep, err := m.mod.Activate(b.internal(), plan.StartupOptions{Params: m.sys.params, BranchAndBound: true, Usage: m.stats})
 	if err != nil {
 		return nil, err
 	}

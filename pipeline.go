@@ -867,7 +867,7 @@ func activateStage(ctx context.Context, st *execState, next pipelineFunc) (*Exec
 		// root that is already resolved; activation would overwrite it.
 		return next(ctx, st)
 	}
-	opts := plan.StartupOptions{Params: st.db.sys.params}
+	opts := plan.StartupOptions{Params: st.db.sys.params, Usage: st.module.stats}
 	if len(st.avoid) > 0 || len(st.blocked) > 0 {
 		avoid, blocked := st.avoid, st.blocked
 		opts.Avoid = func(n *physical.Node) bool {
