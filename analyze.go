@@ -16,7 +16,15 @@ import (
 // is the remedy for the stale-catalog drift the workload observatory's
 // calibration table flags: once re-analyzed, subsequent optimizations
 // predict over the true row counts and the interval violations stop.
+//
+// Analyze also bumps the database's catalog version. The shared plan
+// cache keys on it, so every cached module compiled under the old
+// statistics is implicitly invalidated: the next execution of any
+// prepared statement re-optimizes against the refreshed catalog, and the
+// stale entries are swept out eagerly to free capacity.
 func (db *Database) Analyze(buckets int) error {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
 	if db.histograms == nil {
 		db.histograms = make(map[string]map[string]*stats.Histogram)
 	}
@@ -41,11 +49,15 @@ func (db *Database) Analyze(buckets int) error {
 			db.histograms[rel.Name][a.Name] = h
 		}
 	}
+	v := db.catalogVersion.Add(1)
+	db.planCache.InvalidateOlderThan(v)
 	return nil
 }
 
 // Analyzed reports whether Analyze has been run for the relation.
 func (db *Database) Analyzed(rel string) bool {
+	db.statsMu.RLock()
+	defer db.statsMu.RUnlock()
 	return db.histograms[rel] != nil
 }
 
@@ -54,6 +66,8 @@ func (db *Database) Analyzed(rel string) bool {
 // distribution-aware; otherwise it falls back to the uniform assumption
 // the paper's prototype uses (limit ÷ domain size).
 func (db *Database) EstimateSelectivity(relName, attrName string, limit float64) (float64, error) {
+	db.statsMu.RLock()
+	defer db.statsMu.RUnlock()
 	rel, err := db.sys.cat.Relation(relName)
 	if err != nil {
 		return 0, err

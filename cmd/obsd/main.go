@@ -1,7 +1,11 @@
 // Command obsd runs a demo workload under the workload observatory and
 // serves its live endpoints over HTTP:
 //
+//	/query        POST a SQL-ish statement + bindings; executed as a
+//	              prepared query through the shared plan cache under
+//	              the tenant named by the X-Tenant header
 //	/metrics      JSON metrics snapshot (counters, gauges, histograms,
+//	              plan-cache hits/misses, per-tenant admission,
 //	              per-operator and per-relation aggregates)
 //	/calibration  interval-calibration reports, worst offenders first
 //	/queries      recent run records as JSON lines (?n=K for the newest K)
@@ -62,7 +66,7 @@ func main() {
 	profile := flag.Bool("profile", false, "mount net/http/pprof under /debug/pprof/ and expvar under /debug/vars")
 	flag.Parse()
 
-	db, mod, q, err := demoDatabase(*seed, *stale)
+	db, sys, mod, q, err := demoDatabase(*seed, *stale)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,6 +75,8 @@ func main() {
 		TotalPages:    256,
 		MinGrantPages: 16,
 		MaxConcurrent: 4,
+		TenantSlots:   2,
+		TenantPages:   128,
 	})
 	if *workerFaults > 0 {
 		if err := armWorkerFaults(db, *seed, *workerFaults); err != nil {
@@ -91,30 +97,31 @@ func main() {
 		}
 	}()
 
-	handler := db.Handler()
+	mux := http.NewServeMux()
+	mux.Handle("/query", newQueryServer(db, sys))
+	mux.Handle("/", db.Handler())
+	var handler http.Handler = mux
 	if *profile {
-		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/debug/vars", expvar.Handler())
-		mux.Handle("/", handler)
-		handler = mux
 	}
-	log.Printf("obsd: serving /metrics /calibration /queries /traces on %s", *addr)
+	log.Printf("obsd: serving /query /metrics /calibration /queries /traces on %s", *addr)
 	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatal(err)
 	}
 }
 
 // demoDatabase builds the 3-way chain-join system with data loaded and
-// indexes built, returning the opened database, the dynamic plan's access
-// module, and the logical query (the re-plan remedy needs it). staleness
-// > 1 loads E1 with that multiple of its catalog cardinality, making the
-// catalog stale by construction.
-func demoDatabase(seed int64, staleness float64) (*dynplan.Database, *dynplan.Module, *dynplan.Query, error) {
+// indexes built, returning the opened database, the system (the /query
+// front end parses statements against its catalog), the dynamic plan's
+// access module, and the logical query (the re-plan remedy needs it).
+// staleness > 1 loads E1 with that multiple of its catalog cardinality,
+// making the catalog stale by construction.
+func demoDatabase(seed int64, staleness float64) (*dynplan.Database, *dynplan.System, *dynplan.Module, *dynplan.Query, error) {
 	sys := dynplan.New()
 	for i := 1; i <= 3; i++ {
 		sys.MustCreateRelation(fmt.Sprintf("E%d", i), 400, 512,
@@ -138,32 +145,32 @@ func demoDatabase(seed int64, staleness float64) (*dynplan.Database, *dynplan.Mo
 	}
 	q, err := sys.BuildQuery(spec)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	dyn, err := sys.OptimizeDynamic(q, dynplan.Uncertainty{})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	mod, err := dyn.Module()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	db := sys.OpenDatabase()
 	if err := db.GenerateData(seed); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	// Stale catalog: E1 really holds staleness x its declared 400 rows.
 	rng := rand.New(rand.NewSource(seed + 1))
 	for i := 0; i < int(400*(staleness-1)); i++ {
 		row := []int64{int64(rng.Intn(400)), int64(rng.Intn(80)), int64(rng.Intn(80))}
 		if err := db.Insert("E1", row); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 	}
 	if err := db.BuildIndexes(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return db, mod, q, nil
+	return db, sys, mod, q, nil
 }
 
 // armWorkerFaults installs transient-fault injection confined to one

@@ -198,7 +198,7 @@ func TestGovernedRejectionTaxonomy(t *testing.T) {
 	if res.Admission != nil {
 		t.Error("ungoverned execution carries admission stats")
 	}
-	if got := db.GovernorStats(); got != (GovernorStats{}) {
+	if got := db.GovernorStats(); !reflect.DeepEqual(got, GovernorStats{}) {
 		t.Errorf("cleared governor stats = %+v", got)
 	}
 	if db.OutstandingGrantPages() != 0 {

@@ -3,6 +3,7 @@ package dynplan
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"dynplan/internal/governor"
 	"dynplan/internal/obs"
 	"dynplan/internal/physical"
+	"dynplan/internal/plancache"
 	"dynplan/internal/stats"
 	"dynplan/internal/storage"
 )
@@ -29,6 +31,13 @@ type Database struct {
 	indexes    map[string]map[string]*btree.Tree
 	loaded     map[string]bool
 	histograms map[string]map[string]*stats.Histogram
+	// statsMu orders statistics refreshes against statistics readers:
+	// Analyze (which rewrites catalog cardinalities and the histogram
+	// maps mid-service) takes the write side; plan compilation for the
+	// plan cache and the selectivity estimators take the read side, so a
+	// prepared statement re-optimizing concurrently with an Analyze pass
+	// sees either the old statistics or the new, never a mix.
+	statsMu sync.RWMutex
 	// faults holds the installed fault injector; atomic because
 	// InjectFaults/ClearFaults may race with in-flight executions, which
 	// snapshot the pointer once and use that injector throughout.
@@ -56,6 +65,14 @@ type Database struct {
 	// pipes holds the pre-compiled execution stage stacks every Execute*
 	// façade selects from; assembled once at OpenDatabase (pipeline.go).
 	pipes *pipelines
+	// planCache is the shared LRU of compiled access modules prepared
+	// statements draw from, keyed on (query digest, catalog version);
+	// assembled once at OpenDatabase alongside the stage stacks.
+	// catalogVersion counts statistics epochs: it starts at 1 and Analyze
+	// bumps it, implicitly invalidating every cached plan compiled under
+	// the old statistics.
+	planCache      *plancache.Cache
+	catalogVersion atomic.Uint64
 }
 
 // FaultConfig parameterizes deterministic fault injection on base-table
@@ -111,13 +128,37 @@ func PartitionPageRange(numPages, dop, k int) (lo, hi int32) {
 // rows with Insert (or GenerateData) and call BuildIndexes before
 // executing plans that use B-trees.
 func (s *System) OpenDatabase() *Database {
-	return &Database{
+	db := &Database{
 		sys:     s,
 		store:   storage.NewStore(),
 		indexes: make(map[string]map[string]*btree.Tree),
 		loaded:  make(map[string]bool),
 		pipes:   newPipelines(),
 	}
+	db.planCache = newPlanCache(db, defaultPlanCacheCapacity)
+	db.catalogVersion.Store(1)
+	return db
+}
+
+// CatalogVersion returns the database's current statistics epoch; Analyze
+// bumps it, and the plan cache keys on it, so plans compiled under stale
+// statistics are never served again.
+func (db *Database) CatalogVersion() uint64 { return db.catalogVersion.Load() }
+
+// PlanCacheStats returns the shared plan cache's hit/miss/eviction
+// counters.
+func (db *Database) PlanCacheStats() PlanCacheStats { return db.planCache.Stats() }
+
+// PlanCacheStats is a point-in-time snapshot of the plan cache counters.
+type PlanCacheStats = plancache.Stats
+
+// SetPlanCacheCapacity replaces the plan cache with an empty one bounded
+// at the given capacity (minimum 1; default 64). Call it before
+// preparing statements — cached modules and the cache's counters are
+// discarded, though outstanding PreparedQuery handles keep working and
+// repopulate the new cache on their next execution.
+func (db *Database) SetPlanCacheCapacity(capacity int) {
+	db.planCache = newPlanCache(db, capacity)
 }
 
 // Insert appends rows to a relation; each row must list the attribute
@@ -266,6 +307,14 @@ type ExecResult struct {
 	// per-worker retry (the overwhelmingly common case) and on every
 	// non-parallel path.
 	Degrade []DegradeEvent
+
+	// Tenant is the identity the query ran under (ExecOptions.Tenant or
+	// the prepared-statement front end's tenant header); empty for
+	// anonymous executions. PlanCacheHit reports that the executed module
+	// was served from the shared plan cache rather than freshly compiled
+	// (always false outside prepared execution).
+	Tenant       string
+	PlanCacheHit bool
 
 	// TraceID identifies the query's span tree and Trace carries it, when
 	// tracing was enabled (EnableTracing or ExecOptions.Trace): one span

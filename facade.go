@@ -14,6 +14,7 @@ import (
 
 	"dynplan/internal/exec"
 	"dynplan/internal/physical"
+	"dynplan/internal/plancache"
 )
 
 // ExecOptions select the stage stack a query runs through. The zero value
@@ -70,6 +71,18 @@ type ExecOptions struct {
 	// the ladder with defaults; Degrade.Disabled turns it off. Only
 	// meaningful with Parallel.
 	Degrade *DegradePolicy
+	// Tenant names the identity the query runs under. The governor's
+	// per-tenant admission slots and grant quotas key on it (see
+	// GovernorConfig.TenantSlots), and it rides the result, the /queries
+	// records, and the per-tenant admission stats in /metrics. Empty runs
+	// the query anonymously, outside any per-tenant accounting.
+	Tenant string
+	// cacheKey and cacheHit carry the plan-cache provenance of a prepared
+	// execution (PreparedQuery.Exec): which cache entry the module came
+	// from, and whether it was a hit. Unexported — only the prepare path
+	// sets them.
+	cacheKey *plancache.Key
+	cacheHit bool
 	// Trace builds an end-to-end span tree for this query regardless of
 	// the database-wide EnableTracing switch: one span per pipeline stage,
 	// reopt attempt, degradation rung, and exchange worker, with wait
@@ -101,7 +114,7 @@ type DegradePolicy struct {
 func (db *Database) Exec(ctx context.Context, q any, b Bindings, o ExecOptions) (*ExecResult, error) {
 	st := &execState{db: db, b: b, mem: b.MemoryPages, pol: o.Policy, run: runStatic,
 		par: o.Parallel, maxDOP: o.MaxDOP, wpol: o.WorkerRetry, deg: o.Degrade,
-		traceOn: o.Trace}
+		traceOn: o.Trace, tenant: o.Tenant, cacheKey: o.cacheKey, cacheHit: o.cacheHit}
 	adaptiveTarget := false
 	switch t := q.(type) {
 	case *Module:

@@ -34,6 +34,17 @@ type GovernorConfig struct {
 	// Deadline, when positive, is the per-query execution deadline; expiry
 	// surfaces as ErrDeadlineExceeded through the context plumbing.
 	Deadline time.Duration
+	// TenantSlots, when positive, caps how many queries any single tenant
+	// may have past admission at once; a flooding tenant's excess
+	// arrivals wait at (or are shed from) its own gate, ahead of the
+	// shared queue, so one hot tenant cannot starve the others. Queries
+	// without an ExecOptions.Tenant bypass the gate.
+	TenantSlots int
+	// TenantPages, when positive, caps one tenant's total outstanding
+	// memory grants; requests beyond the remaining quota are clamped, and
+	// shed with ErrAdmission when the remainder cannot fund
+	// MinGrantPages.
+	TenantPages float64
 	// BreakerThreshold is how many consecutive permanent faults on one
 	// relation open its circuit (default 3); BreakerCooldown is how many
 	// executions the open circuit blocks before half-opening for a probe
@@ -61,6 +72,8 @@ func (db *Database) SetGovernor(cfg GovernorConfig) {
 		MaxQueued:     cfg.MaxQueued,
 		QueueTimeout:  cfg.QueueTimeout,
 		Deadline:      cfg.Deadline,
+		TenantSlots:   cfg.TenantSlots,
+		TenantPages:   cfg.TenantPages,
 	})
 	db.breaker = governor.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 }

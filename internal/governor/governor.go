@@ -48,6 +48,19 @@ type Config struct {
 	// to the context returned by Acquire; expiry surfaces as
 	// qerr.ErrDeadlineExceeded through the usual context plumbing.
 	Deadline time.Duration
+	// TenantSlots, when positive, caps how many queries any single tenant
+	// may have past admission at once. The tenant gate sits *before* the
+	// global slot queue: a flooding tenant's excess arrivals wait on (or
+	// are shed from) their own tenant gate and never occupy the shared
+	// queue, so one hot tenant cannot starve the others' admission.
+	// Queries with an empty tenant bypass the gate.
+	TenantSlots int
+	// TenantPages, when positive, caps any single tenant's outstanding
+	// memory grant total. A request is clamped to the tenant's remaining
+	// quota; when the remainder cannot fund even MinGrantPages, the query
+	// is shed with qerr.ErrAdmission rather than letting one tenant drain
+	// the shared pool.
+	TenantPages float64
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +98,27 @@ type Stats struct {
 	QueueWaitTotal time.Duration
 	// Broker is the grant broker's snapshot.
 	Broker BrokerStats
+	// Tenants is the per-tenant view, present when any query has run
+	// under a non-empty tenant identity.
+	Tenants map[string]TenantStats
+}
+
+// TenantStats is one tenant's admission account.
+type TenantStats struct {
+	// Admitted counts the tenant's queries that received a slot and a
+	// grant; Completed those that released their ticket.
+	Admitted, Completed int64
+	// ShedGate counts arrivals shed waiting at the tenant gate;
+	// ShedTimeout those shed later, at the shared slot or grant gates
+	// (including quota exhaustion).
+	ShedGate, ShedTimeout int64
+	// InFlight is the tenant's current past-admission occupancy;
+	// OutstandingPages its current total memory grant.
+	InFlight         int
+	OutstandingPages float64
+	// QueueWaitTotal is the cumulative time the tenant's admitted queries
+	// spent waiting (tenant gate, slot queue, and grant).
+	QueueWaitTotal time.Duration
 }
 
 // Governor enforces admission control and brokers memory grants. Create
@@ -103,6 +137,44 @@ type Governor struct {
 	shedQueueFull  int64
 	shedTimeout    int64
 	queueWaitTotal time.Duration
+	tenants        map[string]*tenantState
+}
+
+// tenantState is one tenant's gate and account; the counters are guarded
+// by the governor's mutex, the gate channel synchronizes itself.
+type tenantState struct {
+	// gate holds the tenant's TenantSlots admission tokens; nil when the
+	// governor has no per-tenant slot cap.
+	gate chan struct{}
+
+	admitted       int64
+	completed      int64
+	shedGate       int64
+	shedTimeout    int64
+	inFlight       int
+	outstanding    float64
+	queueWaitTotal time.Duration
+}
+
+// tenantFor returns (creating on first use) the tenant's state.
+func (g *Governor) tenantFor(tenant string) *tenantState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.tenants == nil {
+		g.tenants = make(map[string]*tenantState)
+	}
+	ts := g.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{}
+		if g.cfg.TenantSlots > 0 {
+			ts.gate = make(chan struct{}, g.cfg.TenantSlots)
+			for i := 0; i < g.cfg.TenantSlots; i++ {
+				ts.gate <- struct{}{}
+			}
+		}
+		g.tenants[tenant] = ts
+	}
+	return ts
 }
 
 // New creates a governor from the config.
@@ -132,6 +204,7 @@ type Ticket struct {
 	Degraded bool
 
 	g      *Governor
+	ts     *tenantState
 	cancel context.CancelFunc
 	once   sync.Once
 }
@@ -142,21 +215,76 @@ type Ticket struct {
 // abandoned Admission leaks its slot.
 type Admission struct {
 	g     *Governor
+	ts    *tenantState
 	began time.Time
 }
 
-// Admit claims an execution slot: it waits (bounded by QueueTimeout, the
-// queue bound, and ctx) for a free slot, shedding the query with an error
-// wrapping qerr.ErrAdmission when the queue is full or the wait budget
-// expires; context cancellation surfaces through the qerr taxonomy. The
-// returned Admission carries the slot into Grant, which completes the
-// acquisition.
+// Admit claims an execution slot for an anonymous query; see AdmitTenant.
 func (g *Governor) Admit(ctx context.Context) (*Admission, error) {
+	return g.AdmitTenant(ctx, "")
+}
+
+// AdmitTenant claims an execution slot under a tenant identity. With a
+// per-tenant slot cap configured (Config.TenantSlots) and a non-empty
+// tenant, the tenant's own gate is passed first — bounded by
+// QueueTimeout — so a tenant flooding arrivals queues against itself and
+// never fills the shared admission queue; only gate holders compete for
+// the global slots. Shedding at either gate fails with an error wrapping
+// qerr.ErrAdmission; context cancellation surfaces through the qerr
+// taxonomy. The returned Admission carries the claims into Grant, which
+// completes the acquisition.
+func (g *Governor) AdmitTenant(ctx context.Context, tenant string) (*Admission, error) {
 	if err := qerr.FromContext(ctx.Err()); err != nil {
 		return nil, err
 	}
 	began := time.Now()
 
+	var ts *tenantState
+	if tenant != "" {
+		ts = g.tenantFor(tenant)
+	}
+	if ts != nil && ts.gate != nil {
+		select {
+		case <-ts.gate:
+		default:
+			timer := time.NewTimer(g.cfg.QueueTimeout)
+			select {
+			case <-ts.gate:
+				timer.Stop()
+			case <-timer.C:
+				g.mu.Lock()
+				ts.shedGate++
+				g.shedTimeout++
+				g.mu.Unlock()
+				return nil, fmt.Errorf("governor: tenant %q gate wait exceeded %v (%d slots per tenant): %w",
+					tenant, g.cfg.QueueTimeout, g.cfg.TenantSlots, qerr.ErrAdmission)
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, qerr.FromContext(ctx.Err())
+			}
+		}
+	}
+	adm, err := g.admit(ctx, began)
+	if err != nil {
+		if ts != nil {
+			if ts.gate != nil {
+				ts.gate <- struct{}{}
+			}
+			if !qerr.Canceled(err) {
+				g.mu.Lock()
+				ts.shedTimeout++
+				g.mu.Unlock()
+			}
+		}
+		return nil, err
+	}
+	adm.ts = ts
+	return adm, nil
+}
+
+// admit claims a shared execution slot (the global gate behind the
+// per-tenant ones); began anchors the ticket's total wait.
+func (g *Governor) admit(ctx context.Context, began time.Time) (*Admission, error) {
 	// Admission: try for a free slot; join the bounded queue otherwise.
 	select {
 	case <-g.slots:
@@ -214,16 +342,45 @@ func (a *Admission) Grant(ctx context.Context, wantPages float64) (*Ticket, cont
 	if want <= 0 {
 		want = g.cfg.MinGrantPages
 	}
+	requested := want
+	if a.ts != nil && g.cfg.TenantPages > 0 {
+		// The tenant quota clamps the request before the broker sees it: a
+		// tenant holding most of its quota gets degraded grants, and one
+		// whose remainder cannot fund the floor is shed — the shared pool
+		// stays available to the other tenants.
+		g.mu.Lock()
+		avail := g.cfg.TenantPages - a.ts.outstanding
+		g.mu.Unlock()
+		floor := g.cfg.MinGrantPages
+		if floor > want {
+			floor = want
+		}
+		if avail < floor {
+			a.release()
+			g.mu.Lock()
+			a.ts.shedTimeout++
+			g.shedTimeout++
+			g.mu.Unlock()
+			return nil, nil, fmt.Errorf("governor: tenant grant quota exhausted (%.4g of %.4g pages outstanding): %w",
+				g.cfg.TenantPages-avail, g.cfg.TenantPages, qerr.ErrAdmission)
+		}
+		if want > avail {
+			want = avail
+		}
+	}
 	grantCtx, grantCancel := context.WithTimeout(ctx, g.cfg.QueueTimeout)
 	pages, err := g.broker.Acquire(grantCtx, want, g.cfg.MinGrantPages)
 	grantCancel()
 	if err != nil {
-		g.slots <- struct{}{}
+		a.release()
 		if cerr := qerr.FromContext(ctx.Err()); cerr != nil {
 			return nil, nil, cerr
 		}
 		g.mu.Lock()
 		g.shedTimeout++
+		if a.ts != nil {
+			a.ts.shedTimeout++
+		}
 		g.mu.Unlock()
 		return nil, nil, err
 	}
@@ -233,6 +390,12 @@ func (a *Admission) Grant(ctx context.Context, wantPages float64) (*Ticket, cont
 	g.inFlight++
 	g.admitted++
 	g.queueWaitTotal += wait
+	if a.ts != nil {
+		a.ts.inFlight++
+		a.ts.admitted++
+		a.ts.outstanding += pages
+		a.ts.queueWaitTotal += wait
+	}
 	g.mu.Unlock()
 
 	qctx := ctx
@@ -242,12 +405,22 @@ func (a *Admission) Grant(ctx context.Context, wantPages float64) (*Ticket, cont
 	}
 	return &Ticket{
 		Pages:     pages,
-		Requested: want,
+		Requested: requested,
 		Wait:      wait,
-		Degraded:  pages < want,
+		Degraded:  pages < requested,
 		g:         g,
+		ts:        a.ts,
 		cancel:    cancel,
 	}, qctx, nil
+}
+
+// release returns the admission's shared slot and tenant gate token — the
+// failure path out of Grant.
+func (a *Admission) release() {
+	a.g.slots <- struct{}{}
+	if a.ts != nil && a.ts.gate != nil {
+		a.ts.gate <- struct{}{}
+	}
 }
 
 // Acquire admits a query and grants it memory in one call — Admit then
@@ -273,9 +446,17 @@ func (t *Ticket) Release() {
 		}
 		t.g.broker.Release(t.Pages)
 		t.g.slots <- struct{}{}
+		if t.ts != nil && t.ts.gate != nil {
+			t.ts.gate <- struct{}{}
+		}
 		t.g.mu.Lock()
 		t.g.inFlight--
 		t.g.completed++
+		if t.ts != nil {
+			t.ts.inFlight--
+			t.ts.completed++
+			t.ts.outstanding -= t.Pages
+		}
 		t.g.mu.Unlock()
 	})
 }
@@ -299,6 +480,20 @@ func (g *Governor) Stats() Stats {
 		Queued:         g.queued,
 		QueueHighWater: g.queueHighWater,
 		QueueWaitTotal: g.queueWaitTotal,
+	}
+	if len(g.tenants) > 0 {
+		s.Tenants = make(map[string]TenantStats, len(g.tenants))
+		for name, ts := range g.tenants {
+			s.Tenants[name] = TenantStats{
+				Admitted:         ts.admitted,
+				Completed:        ts.completed,
+				ShedGate:         ts.shedGate,
+				ShedTimeout:      ts.shedTimeout,
+				InFlight:         ts.inFlight,
+				OutstandingPages: ts.outstanding,
+				QueueWaitTotal:   ts.queueWaitTotal,
+			}
+		}
 	}
 	g.mu.Unlock()
 	s.Broker = g.broker.Stats()

@@ -360,3 +360,128 @@ func TestGovernorResizePool(t *testing.T) {
 		t.Fatalf("pool total = %v after resize", got)
 	}
 }
+
+func TestTenantGateBoundsConcurrency(t *testing.T) {
+	g := New(Config{TotalPages: 1024, MaxConcurrent: 8, MaxQueued: 8,
+		TenantSlots: 2, QueueTimeout: 25 * time.Millisecond})
+	ctx := context.Background()
+
+	a1, err := g.AdmitTenant(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := g.AdmitTenant(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _, err := a1.Grant(ctx, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := a2.Grant(ctx, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant a holds both of its slots: its third arrival waits at the
+	// tenant gate — never reaching the shared queue — and sheds on
+	// timeout with the typed error.
+	if _, err := g.AdmitTenant(ctx, "a"); !errors.Is(err, qerr.ErrAdmission) {
+		t.Fatalf("third tenant-a admission error = %v, want ErrAdmission", err)
+	}
+	// Another tenant is untouched by a's saturation.
+	b1, err := g.AdmitTenant(ctx, "b")
+	if err != nil {
+		t.Fatalf("tenant b admission while a floods: %v", err)
+	}
+	tb, _, err := b1.Grant(ctx, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1.Release()
+	t2.Release()
+	tb.Release()
+
+	s := g.Stats()
+	ta := s.Tenants["a"]
+	if ta.Admitted != 2 || ta.Completed != 2 || ta.ShedGate != 1 {
+		t.Fatalf("tenant a stats = %+v", ta)
+	}
+	if ta.InFlight != 0 || ta.OutstandingPages != 0 {
+		t.Fatalf("tenant a occupancy after release = %+v", ta)
+	}
+	if tb := s.Tenants["b"]; tb.Admitted != 1 || tb.ShedGate != 0 {
+		t.Fatalf("tenant b stats = %+v", tb)
+	}
+	if s.Broker.OutstandingPages != 0 {
+		t.Fatalf("outstanding pages = %v, want 0", s.Broker.OutstandingPages)
+	}
+}
+
+func TestTenantQuotaClampsAndSheds(t *testing.T) {
+	g := New(Config{TotalPages: 1024, MinGrantPages: 10, MaxConcurrent: 8,
+		MaxQueued: 8, TenantSlots: 4, TenantPages: 25, QueueTimeout: time.Minute})
+	ctx := context.Background()
+
+	a1, err := g.AdmitTenant(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _, err := a1.Grant(ctx, 20)
+	if err != nil || t1.Pages != 20 {
+		t.Fatalf("first grant = %+v, %v; want 20 pages", t1, err)
+	}
+	// 5 quota pages remain — below the 10-page floor: the request is
+	// shed, not granted a useless sliver, and the slot is returned.
+	a2, err := g.AdmitTenant(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a2.Grant(ctx, 20); !errors.Is(err, qerr.ErrAdmission) {
+		t.Fatalf("over-quota grant error = %v, want ErrAdmission", err)
+	}
+	t1.Release()
+	// With the quota free again, an oversized request is clamped to the
+	// quota and marked degraded.
+	a3, err := g.AdmitTenant(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, _, err := a3.Grant(ctx, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.Pages != 25 || t3.Requested != 40 || !t3.Degraded {
+		t.Fatalf("clamped grant = %+v, want 25 of 40, degraded", t3)
+	}
+	t3.Release()
+
+	s := g.Stats()
+	ta := s.Tenants["a"]
+	if ta.Admitted != 2 || ta.Completed != 2 || ta.ShedTimeout != 1 {
+		t.Fatalf("tenant a stats = %+v", ta)
+	}
+	if ta.OutstandingPages != 0 || s.Broker.OutstandingPages != 0 {
+		t.Fatalf("outstanding after release: tenant %v, broker %v",
+			ta.OutstandingPages, s.Broker.OutstandingPages)
+	}
+}
+
+func TestAnonymousQueriesBypassTenantGate(t *testing.T) {
+	g := New(Config{TotalPages: 1024, MaxConcurrent: 4, MaxQueued: 4,
+		TenantSlots: 1, QueueTimeout: 25 * time.Millisecond})
+	ctx := context.Background()
+	var tickets []*Ticket
+	for i := 0; i < 3; i++ {
+		tk, _, err := g.Acquire(ctx, 16)
+		if err != nil {
+			t.Fatalf("anonymous acquire %d: %v", i, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		tk.Release()
+	}
+	if s := g.Stats(); len(s.Tenants) != 0 {
+		t.Fatalf("anonymous traffic created tenant accounts: %+v", s.Tenants)
+	}
+}

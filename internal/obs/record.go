@@ -71,6 +71,10 @@ type RunRecord struct {
 	// TraceID cross-references the query's span tree in the /traces ring
 	// when tracing was enabled for the run.
 	TraceID string `json:"trace_id,omitempty"`
+	// Tenant names the identity the query ran under; CacheHit reports
+	// that the executed plan was served from the shared plan cache.
+	Tenant   string `json:"tenant,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
 }
 
 var nameRe = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)

@@ -299,6 +299,14 @@ type Registry struct {
 	DopDegrades     Counter
 	SerialFallbacks Counter
 
+	// PlanCacheHits, PlanCacheMisses, and PlanCacheEvictions mirror the
+	// shared plan cache's counters: hits are prepared executions served a
+	// cached compiled module (paying only start-up-time activation),
+	// misses paid a full optimization, evictions are LRU displacements.
+	PlanCacheHits      Counter
+	PlanCacheMisses    Counter
+	PlanCacheEvictions Counter
+
 	// PoolPages is the governor's grant-pool size; WorstQError the largest
 	// q-error any calibration verdict has reported; PartitionSkewMax the
 	// worst partition skew any parallel exchange has shown.
@@ -320,17 +328,41 @@ type Registry struct {
 	ReplanNanos        Histogram
 	ExchangeWait       Histogram
 	WorkerRetryBackoff Histogram
+	// Activation is the latency of start-up-time processing (choose-plan
+	// resolution) — the cost a plan-cache hit still pays per execution.
+	Activation Histogram
 
 	// Traces counts finished query traces folded into the registry.
 	Traces Counter
 
-	mu     sync.Mutex
-	ops    map[string]*OpAggregate
-	rels   map[string]*OpAggregate
-	calib  map[calibKey]*CalibrationReport
-	stages map[string]*Histogram
-	log    queryLog
-	traces traceLog
+	mu      sync.Mutex
+	ops     map[string]*OpAggregate
+	rels    map[string]*OpAggregate
+	calib   map[calibKey]*CalibrationReport
+	stages  map[string]*Histogram
+	tenants map[string]*tenantAgg
+	log     queryLog
+	traces  traceLog
+}
+
+// tenantAgg is one tenant's live admission account; counters and the
+// wait histogram are atomic, so only map access needs the registry lock.
+type tenantAgg struct {
+	queries Counter
+	errors  Counter
+	sheds   Counter
+	wait    Histogram
+}
+
+// TenantAggregate is one tenant's admission account as served by
+// /metrics: completed queries, failures, admission rejections, and the
+// queue-wait distribution — the numbers that make per-tenant fairness
+// observable.
+type TenantAggregate struct {
+	Queries   int64             `json:"queries"`
+	Errors    int64             `json:"errors,omitempty"`
+	Sheds     int64             `json:"sheds,omitempty"`
+	QueueWait HistogramSnapshot `json:"queue_wait_ns"`
 }
 
 // NewRegistry returns an empty, enabled registry whose query log retains
@@ -379,6 +411,66 @@ func (r *Registry) RecordShed() {
 		return
 	}
 	r.Sheds.Add(1)
+}
+
+// tenantAggFor returns (creating on first use) the named tenant's
+// aggregate; nil for the anonymous tenant or a nil registry.
+func (r *Registry) tenantAggFor(tenant string) *tenantAgg {
+	if r == nil || tenant == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tenants == nil {
+		r.tenants = make(map[string]*tenantAgg)
+	}
+	a := r.tenants[tenant]
+	if a == nil {
+		a = &tenantAgg{}
+		r.tenants[tenant] = a
+	}
+	return a
+}
+
+// RecordTenantQuery charges one completed query to the tenant's account:
+// its admission queue wait and whether it ultimately failed.
+func (r *Registry) RecordTenantQuery(tenant string, queueWaitNanos int64, failed bool) {
+	a := r.tenantAggFor(tenant)
+	if a == nil {
+		return
+	}
+	a.queries.Add(1)
+	if failed {
+		a.errors.Add(1)
+	}
+	a.wait.Record(queueWaitNanos)
+}
+
+// RecordTenantShed charges one admission rejection to the tenant.
+func (r *Registry) RecordTenantShed(tenant string) {
+	if a := r.tenantAggFor(tenant); a != nil {
+		a.sheds.Add(1)
+	}
+}
+
+// TenantSnapshot returns the named tenant's current aggregate; the zero
+// value when the tenant has never been seen.
+func (r *Registry) TenantSnapshot(tenant string) TenantAggregate {
+	if r == nil {
+		return TenantAggregate{}
+	}
+	r.mu.Lock()
+	a := r.tenants[tenant]
+	r.mu.Unlock()
+	if a == nil {
+		return TenantAggregate{}
+	}
+	return TenantAggregate{
+		Queries:   a.queries.Load(),
+		Errors:    a.errors.Load(),
+		Sheds:     a.sheds.Load(),
+		QueueWait: a.wait.Snapshot(),
+	}
 }
 
 // RecordBreakerTrip counts one circuit-breaker opening.
@@ -515,6 +607,10 @@ type RegistrySnapshot struct {
 	DopDegrades       int64 `json:"dop_degrades,omitempty"`
 	SerialFallbacks   int64 `json:"serial_fallbacks,omitempty"`
 
+	PlanCacheHits      int64 `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses    int64 `json:"plan_cache_misses,omitempty"`
+	PlanCacheEvictions int64 `json:"plan_cache_evictions,omitempty"`
+
 	PoolPages        float64 `json:"pool_pages,omitempty"`
 	WorstQError      float64 `json:"worst_q_error,omitempty"`
 	PartitionSkewMax float64 `json:"partition_skew_max,omitempty"`
@@ -527,12 +623,16 @@ type RegistrySnapshot struct {
 	ReplanNanos        HistogramSnapshot `json:"replan_ns,omitempty"`
 	ExchangeWait       HistogramSnapshot `json:"exchange_wait_ns,omitempty"`
 	WorkerRetryBackoff HistogramSnapshot `json:"worker_retry_backoff_ns,omitempty"`
+	Activation         HistogramSnapshot `json:"activation_ns"`
 
 	Traces       int64                        `json:"traces,omitempty"`
 	StageLatency map[string]HistogramSnapshot `json:"stage_latency_ns,omitempty"`
 
 	Operators map[string]OpAggregate `json:"operators,omitempty"`
 	Relations map[string]OpAggregate `json:"relations,omitempty"`
+	// Tenants is the per-tenant admission view: one aggregate per tenant
+	// that has executed (or been shed) under a non-empty identity.
+	Tenants map[string]TenantAggregate `json:"tenants,omitempty"`
 }
 
 // Snapshot captures the registry's current state; nil on a nil registry.
@@ -571,6 +671,10 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 		ReplanNanos:        r.ReplanNanos.Snapshot(),
 		ExchangeWait:       r.ExchangeWait.Snapshot(),
 		WorkerRetryBackoff: r.WorkerRetryBackoff.Snapshot(),
+		Activation:         r.Activation.Snapshot(),
+		PlanCacheHits:      r.PlanCacheHits.Load(),
+		PlanCacheMisses:    r.PlanCacheMisses.Load(),
+		PlanCacheEvictions: r.PlanCacheEvictions.Load(),
 		Traces:             r.Traces.Load(),
 	}
 	r.mu.Lock()
@@ -591,6 +695,17 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 		s.Relations = make(map[string]OpAggregate, len(r.rels))
 		for k, v := range r.rels {
 			s.Relations[k] = *v
+		}
+	}
+	if len(r.tenants) > 0 {
+		s.Tenants = make(map[string]TenantAggregate, len(r.tenants))
+		for k, a := range r.tenants {
+			s.Tenants[k] = TenantAggregate{
+				Queries:   a.queries.Load(),
+				Errors:    a.errors.Load(),
+				Sheds:     a.sheds.Load(),
+				QueueWait: a.wait.Snapshot(),
+			}
 		}
 	}
 	return s

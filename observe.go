@@ -108,6 +108,17 @@ func (r *ExecResult) ExplainAnalyze(p Params) string {
 		out += fmt.Sprintf(" backoff=%v", r.BackoffTotal.Round(time.Microsecond))
 	}
 	out += "\n"
+	if r.Tenant != "" || r.PlanCacheHit {
+		verdict := "miss"
+		if r.PlanCacheHit {
+			verdict = "hit"
+		}
+		tenant := r.Tenant
+		if tenant == "" {
+			tenant = "(anonymous)"
+		}
+		out += fmt.Sprintf("Prepared: tenant=%s plan-cache=%s\n", tenant, verdict)
+	}
 	out += r.Admission.Render()
 	if len(r.Decisions) > 0 {
 		out += obs.RenderDecisions(r.Decisions)
@@ -158,6 +169,8 @@ func (r *ExecResult) RunRecordFor(name, query string, p Params) *RunRecord {
 		PlanDigest:        r.PlanDigest,
 		Calibration:       r.Calibration,
 		TraceID:           r.TraceID,
+		Tenant:            r.Tenant,
+		CacheHit:          r.PlanCacheHit,
 	}
 	if len(r.Calibration) > 0 {
 		maxQ := 0.0

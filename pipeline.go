@@ -37,6 +37,7 @@ import (
 	"dynplan/internal/obs"
 	"dynplan/internal/physical"
 	"dynplan/internal/plan"
+	"dynplan/internal/plancache"
 	"dynplan/internal/qerr"
 	"dynplan/internal/reopt"
 	"dynplan/internal/storage"
@@ -224,6 +225,17 @@ type execState struct {
 	// acc, when set by the Reopt stage, is the accountant the Run stage
 	// must use — the progress watchdog polls its tuple counter.
 	acc *storage.Accountant
+
+	// tenant is the identity the query runs under (ExecOptions.Tenant):
+	// the governor's per-tenant admission slots and grant quotas key on
+	// it, and it rides the result and the observatory's run records.
+	tenant string
+	// cacheKey identifies the plan-cache entry the executed module came
+	// from (nil outside prepared execution); cacheHit reports whether it
+	// was served from the cache. A mid-query re-plan invalidates the
+	// entry — the cached module's estimates have been proven wrong.
+	cacheKey *plancache.Key
+	cacheHit bool
 
 	// traceOn requests a span tree for this query (ExecOptions.Trace);
 	// trace is the live tracer (nil when tracing is off — the disabled
@@ -444,6 +456,27 @@ type pipelines struct {
 	governedReopt         *pipeline
 }
 
+// defaultPlanCacheCapacity bounds the shared plan cache; prepared
+// statements beyond it evict least-recently-used compiled modules.
+const defaultPlanCacheCapacity = 64
+
+// newPlanCache assembles the database's shared plan cache alongside its
+// stage stacks — the single construction point (the CI lint gate pins
+// plancache.New here and inside internal/plancache), so exactly one
+// cache exists per database. The cache mirrors its hit/miss/eviction
+// counters into the observatory registry whenever one is enabled.
+func newPlanCache(db *Database, capacity int) *plancache.Cache {
+	c := plancache.New(capacity)
+	c.SetObserver(func(hits, misses, evictions uint64) {
+		if reg := db.metrics.Load(); reg.Enabled() {
+			reg.PlanCacheHits.Add(int64(hits))
+			reg.PlanCacheMisses.Add(int64(misses))
+			reg.PlanCacheEvictions.Add(int64(evictions))
+		}
+	})
+	return c
+}
+
 func newPipelines() *pipelines {
 	// Every stack carries the Degrade stage: it is a pass-through branch
 	// for serial executions, and parallelism is an ExecOptions bit rather
@@ -474,7 +507,12 @@ func newPipelines() *pipelines {
 func recordStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecResult, error) {
 	reg := st.db.metrics.Load()
 	if !reg.Enabled() {
-		return next(ctx, st)
+		res, err := next(ctx, st)
+		if res != nil {
+			res.Tenant = st.tenant
+			res.PlanCacheHit = st.cacheHit
+		}
+		return res, err
 	}
 	start := time.Now()
 	res, err := next(ctx, st)
@@ -482,13 +520,22 @@ func recordStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRe
 	if err != nil {
 		if errors.Is(err, ErrAdmission) {
 			reg.RecordShed()
+			reg.RecordTenantShed(st.tenant)
 		} else {
 			reg.RecordQuery(obs.QuerySample{WallNanos: wall.Nanoseconds(), Failed: true})
+			reg.RecordTenantQuery(st.tenant, 0, true)
 			reg.LogQuery(st.db.queryLogRecord(nil, wall, err, st.trace.ID()))
 		}
 		return nil, err
 	}
+	res.Tenant = st.tenant
+	res.PlanCacheHit = st.cacheHit
+	var queueWait int64
+	if res.Admission != nil {
+		queueWait = res.Admission.QueueWaitNanos
+	}
 	reg.RecordQuery(querySampleOf(res, wall))
+	reg.RecordTenantQuery(st.tenant, queueWait, false)
 	reg.LogQuery(st.db.queryLogRecord(res, wall, nil, st.trace.ID()))
 	return res, nil
 }
@@ -507,7 +554,7 @@ func admitStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRes
 	if st.span != nil {
 		t0 = time.Now()
 	}
-	adm, err := gov.Admit(ctx)
+	adm, err := gov.AdmitTenant(ctx, st.tenant)
 	if st.span != nil {
 		st.span.AddWait(obs.WaitAdmissionQueue, time.Since(t0).Nanoseconds())
 	}
@@ -847,6 +894,12 @@ func reoptStage(ctx context.Context, st *execState, next pipelineFunc) (*ExecRes
 			st.root = forced
 			st.planCost = pc
 			st.skipActivate = true
+			if st.cacheKey != nil {
+				// The cached module's estimates just forced a re-plan; drop
+				// the entry so the next prepared execution compiles against
+				// the corrected picture instead of re-tripping the guard.
+				st.db.planCache.Invalidate(*st.cacheKey)
+			}
 		default:
 			st.root = rc.DegradeRoot(st.root, "re-optimization budget exhausted; finishing the current plan")
 			st.skipActivate = true
@@ -883,6 +936,11 @@ func activateStage(ctx context.Context, st *execState, next pipelineFunc) (*Exec
 		// selectivity × domain, and moving them would change the answer.
 		ib = st.rc.CorrectBindings(ib)
 	}
+	reg := st.db.metrics.Load()
+	var actStart time.Time
+	if reg.Enabled() {
+		actStart = time.Now()
+	}
 	rep, err := st.module.mod.Activate(ib, opts)
 	if errors.Is(err, plan.ErrInfeasible) && len(st.avoid) > 0 {
 		// Every alternative has failed at least once; forgive the
@@ -890,6 +948,11 @@ func activateStage(ctx context.Context, st *execState, next pipelineFunc) (*Exec
 		// remaining choice set again.
 		clear(st.avoid)
 		rep, err = st.module.mod.Activate(ib, opts)
+	}
+	if reg.Enabled() {
+		// Start-up-time processing is the cost a plan-cache hit still pays;
+		// the histogram is what makes "activation ≪ compilation" observable.
+		reg.Activation.Record(time.Since(actStart).Nanoseconds())
 	}
 	if errors.Is(err, plan.ErrInfeasible) && len(st.blocked) > 0 {
 		// The circuit breaker alone leaves no feasible plan: fail fast

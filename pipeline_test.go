@@ -294,6 +294,11 @@ func TestExecResultFieldUniformity(t *testing.T) {
 		// parallel execution the degradation ladder can take no step.
 		"Parallel": {def: expectZero},
 		"Degrade":  {def: expectZero},
+		// No façade here sets ExecOptions.Tenant or executes a prepared
+		// statement, so the tenancy and plan-cache provenance must stay
+		// uniformly zero.
+		"Tenant":       {def: expectZero},
+		"PlanCacheHit": {def: expectZero},
 		// Tracing is off (neither EnableTracing nor ExecOptions.Trace), so
 		// no façade may carry a trace ID or span tree.
 		"TraceID": {def: expectZero},
